@@ -1,0 +1,45 @@
+//! End-to-end scheme comparison at test scale — the Criterion-facing twin
+//! of the fig6/fig9 binaries (which run the full Paper-scale sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use suv::prelude::*;
+
+fn bench_schemes(c: &mut Criterion) {
+    let cfg = MachineConfig::small_test();
+    let mut g = c.benchmark_group("fig6_tiny");
+    g.sample_size(10);
+    for app in ["genome", "intruder"] {
+        for scheme in SchemeKind::FIG6 {
+            g.bench_with_input(
+                BenchmarkId::new(app, scheme.label()),
+                &scheme,
+                |b, &scheme| {
+                    b.iter(|| {
+                        let mut w = by_name(app, SuiteScale::Tiny).unwrap();
+                        run_workload(&cfg, scheme, w.as_mut())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig9_tiny");
+    g.sample_size(10);
+    for scheme in SchemeKind::FIG9 {
+        g.bench_with_input(
+            BenchmarkId::new("yada", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut w = by_name("yada", SuiteScale::Tiny).unwrap();
+                    run_workload(&cfg, scheme, w.as_mut())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

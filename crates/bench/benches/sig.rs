@@ -1,0 +1,65 @@
+//! Microbenchmarks: signature operations (the per-access hardware the
+//! schemes lean on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use suv::sig::{Signature, SummarySignature};
+
+fn bench_sig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signature");
+    g.bench_function("insert", |b| {
+        let mut s = Signature::new(2048, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            s.insert(black_box(i * 64));
+            i += 1;
+        });
+    });
+    g.bench_function("contains_hit", |b| {
+        let mut s = Signature::new(2048, 4);
+        for i in 0..64u64 {
+            s.insert(i * 64);
+        }
+        b.iter(|| black_box(s.contains(black_box(0x40))));
+    });
+    g.bench_function("intersects", |b| {
+        let mut a = Signature::new(2048, 4);
+        let mut bb = Signature::new(2048, 4);
+        for i in 0..64u64 {
+            a.insert(i * 64);
+            bb.insert((i + 1000) * 64);
+        }
+        b.iter(|| black_box(a.intersects(&bb)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("summary_signature");
+    g.bench_function("add_delete", |b| {
+        let mut s = SummarySignature::new(2048, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            s.add(i * 64);
+            s.delete(i * 64);
+            i += 1;
+        });
+    });
+    g.bench_function("query_negative", |b| {
+        let mut s = SummarySignature::new(2048, 2);
+        for i in 0..32u64 {
+            s.add(i * 64);
+        }
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            black_box(s.query(black_box(i * 64)));
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sig
+}
+criterion_main!(benches);

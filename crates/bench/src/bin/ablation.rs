@@ -1,0 +1,53 @@
+//! Ablation studies for the design points DESIGN.md calls out:
+//!
+//! 1. **False conflicts** (paper §IV.A: "false conflicts account for a
+//!    large portion of the total conflicts") — Bloom signatures at several
+//!    sizes vs physically-impossible perfect signatures.
+//! 2. **Redirect-back** is exercised indirectly: entry counts with and
+//!    without rewrite-heavy workloads are reported by `fig7`.
+//! 3. **NoC contention modeling** on vs off.
+
+use suv_bench::*;
+
+fn main() {
+    let apps = ["bayes", "genome", "yada"];
+
+    println!("Ablation 1: signature precision (SUV-TM, Paper scale)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "app", "64-bit", "256-bit", "2K-bit", "perfect"
+    );
+    for app in apps {
+        print!("{app:<10}");
+        let mut nacks = Vec::new();
+        for (bits, perfect) in [(64usize, false), (256, false), (2048, false), (2048, true)] {
+            let mut cfg = paper_machine();
+            cfg.htm.signature_bits = bits;
+            cfg.htm.perfect_signatures = perfect;
+            let r = run(&cfg, SchemeKind::SuvTm, app, SuiteScale::Paper);
+            print!(" {:>12}", r.stats.cycles);
+            nacks.push(r.stats.tx.nacks_received);
+        }
+        println!();
+        println!(
+            "{:<10} NACKs: 64b {} / 256b {} / 2Kb {} / perfect {}  (excess over perfect = false conflicts)",
+            "", nacks[0], nacks[1], nacks[2], nacks[3]
+        );
+    }
+
+    println!("\nAblation 2: NoC link-contention modeling (LogTM-SE, Paper scale)");
+    println!("{:<10} {:>14} {:>14} {:>8}", "app", "no contention", "contention", "delta");
+    for app in apps {
+        let off = run(&paper_machine(), SchemeKind::LogTmSe, app, SuiteScale::Paper);
+        let mut cfg = paper_machine();
+        cfg.noc_contention = true;
+        let on = run(&cfg, SchemeKind::LogTmSe, app, SuiteScale::Paper);
+        println!(
+            "{:<10} {:>14} {:>14} {:>7.1}%",
+            app,
+            off.stats.cycles,
+            on.stats.cycles,
+            100.0 * (on.stats.cycles as f64 / off.stats.cycles as f64 - 1.0)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 6: execution-time breakdown of LogTM-SE (L), FasTM (F) and
+//! SUV-TM (S) over the eight STAMP applications, on the Table III machine.
+
+use suv::stamp::workloads::HIGH_CONTENTION;
+use suv_bench::*;
+
+fn main() {
+    let cfg = paper_machine();
+    let scale = SuiteScale::Paper;
+    let apps = suv::stamp::WORKLOAD_NAMES;
+    println!("Figure 6: execution time breakdown (normalized to LogTM-SE = 100)");
+    println!("{:<10} {:>3} {:>8}  {}", "app", "", "cycles", BREAKDOWN_HEADER);
+    let mut speedup_f = Vec::new();
+    let mut speedup_s = Vec::new();
+    let mut hc_f = Vec::new();
+    let mut hc_s = Vec::new();
+    for app in apps {
+        let l = run(&cfg, SchemeKind::LogTmSe, app, scale);
+        let f = run(&cfg, SchemeKind::FasTm, app, scale);
+        let s = run(&cfg, SchemeKind::SuvTm, app, scale);
+        let norm = l.stats.cycles * cfg.n_cores as u64; // all-thread cycles under L
+        for r in [&l, &f, &s] {
+            println!(
+                "{:<10} {:>3} {:>8}  {}",
+                app,
+                r.scheme.label(),
+                r.stats.cycles,
+                breakdown_row(&r.stats.total_breakdown(), norm.max(1)),
+            );
+        }
+        let sf = l.stats.cycles as f64 / f.stats.cycles as f64;
+        let ss = l.stats.cycles as f64 / s.stats.cycles as f64;
+        let fs = f.stats.cycles as f64 / s.stats.cycles as f64;
+        println!(
+            "{:<10} speedup vs L: F {:.2}x, S {:.2}x;  S vs F {:.2}x  (aborts L/F/S: {}/{}/{})",
+            "", sf, ss, fs, l.stats.tx.aborts, f.stats.tx.aborts, s.stats.tx.aborts
+        );
+        speedup_f.push(sf);
+        speedup_s.push(ss);
+        if HIGH_CONTENTION.contains(&app) {
+            hc_f.push(sf);
+            hc_s.push(ss);
+        }
+    }
+    println!("\nGeomean speedups over LogTM-SE (paper: SUV 1.56x all / 1.95x high-contention):");
+    println!("  all apps        : FasTM {:.2}x, SUV-TM {:.2}x", geomean(&speedup_f), geomean(&speedup_s));
+    println!("  high-contention : FasTM {:.2}x, SUV-TM {:.2}x", geomean(&hc_f), geomean(&hc_s));
+    println!(
+        "  SUV-TM vs FasTM : {:.2}x all, {:.2}x HC (paper: 1.09x / 1.12x)",
+        geomean(&speedup_s) / geomean(&speedup_f),
+        geomean(&hc_s) / geomean(&hc_f)
+    );
+}

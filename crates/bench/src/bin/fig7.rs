@@ -1,0 +1,35 @@
+//! Figure 7: sensitivity to the first-level redirect-table size —
+//! (a) miss rate, (b) total execution time.
+
+use suv_bench::*;
+
+const APPS: [&str; 4] = ["bayes", "labyrinth", "yada", "genome"];
+const SIZES: [usize; 6] = [64, 128, 256, 512, 1024, 2048];
+
+fn main() {
+    println!("Figure 7: first-level redirect-table size sensitivity (SUV-TM)");
+    println!("(a) miss rate / (b) execution time normalized to the 512-entry table");
+    for app in APPS {
+        println!("\n{app}:");
+        println!("{:>8} {:>12} {:>12} {:>12}", "entries", "miss rate", "cycles", "norm time");
+        let rows: Vec<(usize, f64, u64)> = SIZES
+            .iter()
+            .map(|&entries| {
+                let mut cfg = paper_machine();
+                cfg.suv.l1_entries = entries;
+                let r = run(&cfg, SchemeKind::SuvTm, app, SuiteScale::Paper);
+                (entries, r.stats.redirect.l1_miss_rate(), r.stats.cycles)
+            })
+            .collect();
+        let base = rows.iter().find(|(e, _, _)| *e == 512).expect("512 in sweep").2;
+        for (entries, miss, cycles) in rows {
+            println!(
+                "{:>8} {:>11.2}% {:>12} {:>12.3}",
+                entries,
+                100.0 * miss,
+                cycles,
+                cycles as f64 / base as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 8: sensitivity to the second-level redirect table —
+//! (a) size, (b) access latency.
+
+use suv_bench::*;
+
+const APPS: [&str; 4] = ["bayes", "labyrinth", "yada", "genome"];
+
+fn main() {
+    println!("Figure 8(a): second-level table size (SUV-TM, 10-cycle latency)");
+    println!("(sizes below the live-entry count force memory searches)");
+    for app in APPS {
+        print!("{app:<10}");
+        let mut base = 0;
+        for entries in [512usize, 2048, 8192, 16384, 32768] {
+            let mut cfg = paper_machine();
+            cfg.suv.l2_entries = entries;
+            let r = run(&cfg, SchemeKind::SuvTm, app, SuiteScale::Paper);
+            if entries == 16384 {
+                base = r.stats.cycles;
+            }
+            print!("  {entries:>6}:{:>9}", r.stats.cycles);
+        }
+        let _ = base;
+        println!();
+    }
+    println!("\nFigure 8(b): second-level table latency (SUV-TM, 16384 entries)");
+    for app in APPS {
+        print!("{app:<10}");
+        let mut t0 = 0;
+        let mut t10 = 0;
+        for lat in [0u64, 5, 10, 20, 30] {
+            let mut cfg = paper_machine();
+            cfg.suv.l2_latency = lat;
+            let r = run(&cfg, SchemeKind::SuvTm, app, SuiteScale::Paper);
+            if lat == 0 {
+                t0 = r.stats.cycles;
+            }
+            if lat == 10 {
+                t10 = r.stats.cycles;
+            }
+            print!("  {lat:>2}cyc:{:>9}", r.stats.cycles);
+        }
+        println!(
+            "   zero-latency gain vs 10cyc: {:.1}%",
+            100.0 * (1.0 - t0 as f64 / t10 as f64)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 9: execution-time breakdown of the original DynTM (D) and DynTM
+//! with SUV as its version-management scheme (D+S) over STAMP.
+
+use suv::stamp::workloads::HIGH_CONTENTION;
+use suv_bench::*;
+
+fn main() {
+    let cfg = paper_machine();
+    let scale = SuiteScale::Paper;
+    println!("Figure 9: DynTM (D) vs DynTM+SUV (D+S), normalized to D = 100");
+    println!("{:<10} {:>4} {:>9}  {}", "app", "", "cycles", BREAKDOWN_HEADER);
+    let mut all = Vec::new();
+    let mut hc = Vec::new();
+    for app in suv::stamp::WORKLOAD_NAMES {
+        let d = run(&cfg, SchemeKind::DynTm, app, scale);
+        let ds = run(&cfg, SchemeKind::DynTmSuv, app, scale);
+        let norm = d.stats.cycles * cfg.n_cores as u64;
+        for r in [&d, &ds] {
+            println!(
+                "{:<10} {:>4} {:>9}  {}",
+                app,
+                r.scheme.label(),
+                r.stats.cycles,
+                breakdown_row(&r.stats.total_breakdown(), norm.max(1)),
+            );
+        }
+        let sp = d.stats.cycles as f64 / ds.stats.cycles as f64;
+        println!(
+            "{:<10} D+S speedup {:.2}x  (lazy txns D/D+S: {}/{}, aborts {}/{})",
+            "", sp, d.stats.lazy_txns, ds.stats.lazy_txns, d.stats.tx.aborts, ds.stats.tx.aborts
+        );
+        all.push(sp);
+        if HIGH_CONTENTION.contains(&app) {
+            hc.push(sp);
+        }
+    }
+    println!("\nGeomean D+S speedup over D (paper: 9.8% all, 18.6% high-contention):");
+    println!("  all apps        : {:.1}%", (geomean(&all) - 1.0) * 100.0);
+    println!("  high-contention : {:.1}%", (geomean(&hc) - 1.0) * 100.0);
+}

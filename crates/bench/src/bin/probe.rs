@@ -1,0 +1,44 @@
+//! Internal probe: run one (app, scheme, scale) and print stats.
+use suv_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(String::as_str).unwrap_or("intruder");
+    let scheme = match args.get(2).map(String::as_str).unwrap_or("S") {
+        "L" => SchemeKind::LogTmSe,
+        "F" => SchemeKind::FasTm,
+        "S" => SchemeKind::SuvTm,
+        "D" => SchemeKind::DynTm,
+        "DS" => SchemeKind::DynTmSuv,
+        "T" => SchemeKind::Lazy,
+        other => panic!("unknown scheme {other}"),
+    };
+    let scale =
+        if args.get(3).map(String::as_str) == Some("tiny") { SuiteScale::Tiny } else { SuiteScale::Paper };
+    let t0 = std::time::Instant::now();
+    let r = run(&paper_machine(), scheme, app, scale);
+    eprintln!(
+        "{app}/{:?}: {} cycles, commits={} aborts={} nacks={} cyc_aborts={} host={:?}",
+        scheme,
+        r.stats.cycles,
+        r.stats.tx.commits,
+        r.stats.tx.aborts,
+        r.stats.tx.nacks_received,
+        r.stats.tx.cycle_aborts,
+        t0.elapsed()
+    );
+    let b = r.stats.total_breakdown();
+    eprintln!(
+        "  breakdown: notrans={} trans={} barrier={} backoff={} stalled={} wasted={} aborting={} committing={}",
+        b.no_trans, b.trans, b.barrier, b.backoff, b.stalled, b.wasted, b.aborting, b.committing
+    );
+    eprintln!(
+        "  overflow: l1_data_txns={} spec_evict={} rt_l1={} rt_mem={}  max_ws={} redirect: {:?}",
+        r.stats.overflow.l1_data_overflow_txns,
+        r.stats.overflow.speculative_evictions,
+        r.stats.overflow.rt_l1_overflow_txns,
+        r.stats.overflow.rt_full_overflow_txns,
+        r.stats.tx.max_write_set,
+        r.stats.redirect
+    );
+}

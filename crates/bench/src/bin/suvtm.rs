@@ -1,0 +1,137 @@
+//! `suvtm` — command-line driver for the simulator.
+//!
+//! ```text
+//! suvtm run   --app genome --scheme suv [--cores 16] [--scale paper] [--breakdown]
+//! suvtm sweep --app yada               # all schemes on one app
+//! suvtm list                           # workloads and schemes
+//! ```
+
+use suv::prelude::*;
+use suv::stamp::WORKLOAD_NAMES;
+
+fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "logtm" | "logtm-se" | "l" => SchemeKind::LogTmSe,
+        "fastm" | "f" => SchemeKind::FasTm,
+        "suv" | "suv-tm" | "s" => SchemeKind::SuvTm,
+        "lazy" | "tcc" => SchemeKind::Lazy,
+        "dyntm" | "d" => SchemeKind::DynTm,
+        "dyntm-suv" | "d+s" | "ds" => SchemeKind::DynTmSuv,
+        _ => return None,
+    })
+}
+
+struct Opts {
+    app: String,
+    scheme: SchemeKind,
+    cores: usize,
+    scale: SuiteScale,
+    breakdown: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        app: "genome".into(),
+        scheme: SchemeKind::SuvTm,
+        cores: 16,
+        scale: SuiteScale::Tiny,
+        breakdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => o.app = it.next().expect("--app NAME").clone(),
+            "--scheme" => {
+                let s = it.next().expect("--scheme NAME");
+                o.scheme = parse_scheme(s).unwrap_or_else(|| panic!("unknown scheme {s}"));
+            }
+            "--cores" => o.cores = it.next().expect("--cores N").parse().expect("number"),
+            "--scale" => {
+                o.scale = match it.next().expect("--scale tiny|paper").as_str() {
+                    "paper" => SuiteScale::Paper,
+                    _ => SuiteScale::Tiny,
+                }
+            }
+            "--breakdown" => o.breakdown = true,
+            other => panic!("unknown option {other}"),
+        }
+    }
+    o
+}
+
+fn config(cores: usize) -> MachineConfig {
+    MachineConfig { n_cores: cores, ..Default::default() }
+}
+
+fn report(r: &RunResult, breakdown: bool) {
+    println!(
+        "{:<10} {:<10} {:>10} cycles  commits={} aborts={} (ratio {:.1}%) nacks={}",
+        r.workload,
+        r.scheme.name(),
+        r.stats.cycles,
+        r.stats.tx.commits,
+        r.stats.tx.aborts,
+        100.0 * r.stats.tx.abort_ratio(),
+        r.stats.tx.nacks_received,
+    );
+    if breakdown {
+        let b = r.stats.total_breakdown();
+        let total = b.total().max(1) as f64;
+        for k in BreakdownKind::ALL {
+            let pct = 100.0 * b.get(k) as f64 / total;
+            if pct >= 0.05 {
+                println!("    {:<10} {:>5.1}%", k.label(), pct);
+            }
+        }
+        if r.scheme == SchemeKind::SuvTm || r.scheme == SchemeKind::DynTmSuv {
+            println!(
+                "    redirect: +{} entries, {} redirected back, L1-table miss {:.2}%, {} mem lookups",
+                r.stats.redirect.entries_added,
+                r.stats.redirect.entries_redirected_back,
+                100.0 * r.stats.redirect.l1_miss_rate(),
+                r.stats.redirect.mem_lookups,
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let o = parse_opts(&args[1..]);
+            let mut w = by_name(&o.app, o.scale)
+                .unwrap_or_else(|| panic!("unknown app {}; try `suvtm list`", o.app));
+            let r = run_workload(&config(o.cores), o.scheme, w.as_mut());
+            report(&r, o.breakdown);
+        }
+        Some("sweep") => {
+            let o = parse_opts(&args[1..]);
+            let mut base = None;
+            for scheme in [
+                SchemeKind::LogTmSe,
+                SchemeKind::FasTm,
+                SchemeKind::Lazy,
+                SchemeKind::DynTm,
+                SchemeKind::SuvTm,
+                SchemeKind::DynTmSuv,
+            ] {
+                let mut w = by_name(&o.app, o.scale)
+                    .unwrap_or_else(|| panic!("unknown app {}", o.app));
+                let r = run_workload(&config(o.cores), scheme, w.as_mut());
+                let b = *base.get_or_insert(r.stats.cycles);
+                report(&r, o.breakdown);
+                println!("    speedup vs LogTM-SE: {:.2}x", b as f64 / r.stats.cycles as f64);
+            }
+        }
+        Some("list") => {
+            println!("workloads: {}", WORKLOAD_NAMES.join(" "));
+            println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
+            println!("scales:    tiny paper");
+        }
+        _ => {
+            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown]");
+            std::process::exit(2);
+        }
+    }
+}

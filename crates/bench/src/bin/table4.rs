@@ -1,0 +1,26 @@
+//! Table IV: workload characteristics — mean committed-transaction length
+//! and contention class, measured under the LogTM-SE baseline.
+
+use suv::stamp::workloads::HIGH_CONTENTION;
+use suv_bench::*;
+
+fn main() {
+    let cfg = paper_machine();
+    println!("Table IV: workload characteristics (measured under LogTM-SE)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12}",
+        "app", "commits", "mean tx len", "contention", "abort ratio"
+    );
+    for app in suv::stamp::WORKLOAD_NAMES {
+        let r = run(&cfg, SchemeKind::LogTmSe, app, SuiteScale::Paper);
+        let class = if HIGH_CONTENTION.contains(&app) { "High" } else { "Low" };
+        println!(
+            "{:<10} {:>10} {:>12.0} {:>10} {:>11.1}%",
+            app,
+            r.stats.tx.commits,
+            r.stats.tx.mean_tx_len(),
+            class,
+            100.0 * r.stats.tx.abort_ratio()
+        );
+    }
+}

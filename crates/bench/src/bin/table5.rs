@@ -1,0 +1,32 @@
+//! Table V: overflow statistics for the coarse-grained applications
+//! (bayes, labyrinth, yada).
+
+use suv_bench::*;
+
+fn main() {
+    let cfg = paper_machine();
+    println!("Table V: overflow statistics (coarse-grained applications)");
+    println!(
+        "{:<10} {:>7} {:>8} {:>18} {:>14} {:>14} {:>12}",
+        "app", "scheme", "txns", "L1-data-ovf txns", "spec evictions", "RT-L1-ovf txns", "RT-mem txns"
+    );
+    for app in ["bayes", "labyrinth", "yada"] {
+        for s in SchemeKind::FIG6 {
+            let r = run(&cfg, s, app, SuiteScale::Paper);
+            let o = r.stats.overflow;
+            println!(
+                "{:<10} {:>7} {:>8} {:>18} {:>14} {:>14} {:>12}",
+                app,
+                s.label(),
+                r.stats.tx.commits + r.stats.tx.aborts,
+                o.l1_data_overflow_txns,
+                o.speculative_evictions,
+                o.rt_l1_overflow_txns,
+                o.rt_full_overflow_txns
+            );
+        }
+    }
+    println!("\nNotes: for LogTM-SE/FasTM an L1-data overflow forces sticky/summary handling");
+    println!("(FasTM additionally degenerates to LogTM-SE); under SUV evicted speculative");
+    println!("lines are backed by the redirect pool, so only redirect-table overflows hurt.");
+}

@@ -1,0 +1,22 @@
+//! Table VI: parameters of some contemporary processors.
+
+use suv::cacti::PROCESSORS;
+
+fn main() {
+    println!("Table VI: parameters of some contemporary processors");
+    println!(
+        "{:<16} {:>9} {:>11} {:>13} {:>8} {:>11}",
+        "Processor", "Tech (nm)", "Clock (GHz)", "Cores/Threads", "TDP (W)", "Area (mm2)"
+    );
+    for p in PROCESSORS {
+        println!(
+            "{:<16} {:>9} {:>11.1} {:>13} {:>8.0} {:>11.0}",
+            p.name,
+            p.tech_nm,
+            p.clock_ghz,
+            format!("{}/{}", p.cores, p.threads),
+            p.tdp_w,
+            p.area_mm2
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Table VII: CACTI-style estimates of the 512-entry fully-associative
+//! first-level redirect table, plus the paper's §V.C cost arithmetic.
+
+use suv::cacti::{
+    estimate_fa, storage_per_core_kb, tables_area_mm2, worst_case_power_w, ArrayConfig,
+    PROCESSORS, NODES,
+};
+
+fn main() {
+    let cfg = ArrayConfig::paper_l1_table();
+    println!("Table VII: overheads of the first-level fully-associative table");
+    println!(
+        "{:>9} {:>13} {:>10} {:>10} {:>11}",
+        "Tech (nm)", "Access (ns)", "Read (nJ)", "Write (nJ)", "Area (mm2)"
+    );
+    for node in NODES {
+        let e = estimate_fa(&cfg, &node);
+        println!(
+            "{:>9} {:>13.3} {:>10.3} {:>10.3} {:>11.3}",
+            node.nm, e.access_ns, e.read_nj, e.write_nj, e.area_mm2
+        );
+    }
+    println!("\nSection V.C arithmetic:");
+    let kb = storage_per_core_kb(2048, 2048, 512, 22);
+    println!("  per-core storage: {kb:.3} KB ({:.2}% of a 32 KB L1)", kb / 32.0 * 100.0);
+    let p = worst_case_power_w(16, 1.2, 45);
+    let rock = PROCESSORS[2];
+    println!(
+        "  worst-case dynamic power (16 cores @1.2GHz, 45nm): {p:.2} W ({:.1}% of Rock's {} W TDP)",
+        p / rock.tdp_w * 100.0,
+        rock.tdp_w
+    );
+    let a = tables_area_mm2(16, 45);
+    println!(
+        "  chip-wide table area: {a:.2} mm2 ({:.2}% of Rock's {} mm2)",
+        a / rock.area_mm2 * 100.0,
+        rock.area_mm2
+    );
+    let e45 = estimate_fa(&cfg, &NODES[2]);
+    println!("  access at 45nm/1.2GHz: {} cycle(s)", e45.cycles_at(1.2));
+}

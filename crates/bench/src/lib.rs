@@ -1,0 +1,40 @@
+//! Shared helpers for the figure/table regenerator binaries.
+
+pub use suv::prelude::*;
+use suv::types::Cycle;
+
+/// Run one (app, scheme) pair at the given scale on the paper machine.
+pub fn run(cfg: &MachineConfig, scheme: SchemeKind, app: &str, scale: SuiteScale) -> RunResult {
+    let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown workload {app}"));
+    run_workload(cfg, scheme, w.as_mut())
+}
+
+/// The paper's Table III machine.
+pub fn paper_machine() -> MachineConfig {
+    MachineConfig::default()
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Render a breakdown as percentages of `norm` cycles.
+pub fn breakdown_row(b: &Breakdown, norm: Cycle) -> String {
+    let pct = |c: Cycle| 100.0 * c as f64 / norm as f64;
+    format!(
+        "{:6.1} {:6.1} {:7.1} {:7.1} {:7.1} {:6.1} {:8.1} {:10.1}",
+        pct(b.no_trans),
+        pct(b.trans),
+        pct(b.barrier),
+        pct(b.backoff),
+        pct(b.stalled),
+        pct(b.wasted),
+        pct(b.aborting),
+        pct(b.committing),
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub const BREAKDOWN_HEADER: &str =
+    "NoTrans  Trans Barrier Backoff Stalled Wasted Aborting Committing";

@@ -1,0 +1,209 @@
+//! Bit-vector sharer directory (Table III: "L2 Directory — bit vector of
+//! sharers, 6-cycle latency").
+//!
+//! The directory tracks, per line, which cores hold the line and which (if
+//! any) owns it exclusively. It is the filter the coherence protocol uses to
+//! decide which cores must see a GETS/GETM request.
+
+use std::collections::HashMap;
+use suv_types::{CoreId, LineAddr};
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bit `i` set = core `i` may hold the line.
+    pub sharers: u64,
+    /// Core holding the line in M/E, if any.
+    pub owner: Option<CoreId>,
+}
+
+impl DirEntry {
+    /// Is core `c` a sharer?
+    pub fn is_sharer(&self, c: CoreId) -> bool {
+        self.sharers & (1 << c) != 0
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+}
+
+/// The full directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+    lookups: u64,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Look up a line (counted for stats). Missing lines are unshared.
+    pub fn lookup(&mut self, line: LineAddr) -> DirEntry {
+        self.lookups += 1;
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Peek without counting a lookup.
+    pub fn peek(&self, line: LineAddr) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Record that core `c` obtained a shared copy. Any existing exclusive
+    /// owner is downgraded to a plain sharer (M/E -> S on a remote GETS).
+    pub fn add_sharer(&mut self, line: LineAddr, c: CoreId) {
+        let e = self.entries.entry(line).or_default();
+        e.sharers |= 1 << c;
+        e.owner = None;
+    }
+
+    /// Record that core `c` obtained exclusive ownership: all other sharers
+    /// are invalidated. Returns the bitmask of cores that were invalidated.
+    pub fn set_owner(&mut self, line: LineAddr, c: CoreId) -> u64 {
+        let e = self.entries.entry(line).or_default();
+        let invalidated = e.sharers & !(1 << c);
+        e.sharers = 1 << c;
+        e.owner = Some(c);
+        invalidated
+    }
+
+    /// Core `c` dropped its copy (eviction or invalidation).
+    pub fn remove_sharer(&mut self, line: LineAddr, c: CoreId) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << c);
+            if e.owner == Some(c) {
+                e.owner = None;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Directory lookups performed (stats).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lines currently tracked.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_line_is_unshared() {
+        let mut d = Directory::new();
+        let e = d.lookup(0x40);
+        assert_eq!(e.sharers, 0);
+        assert_eq!(e.owner, None);
+        assert_eq!(d.lookups(), 1);
+    }
+
+    #[test]
+    fn sharers_accumulate() {
+        let mut d = Directory::new();
+        d.add_sharer(0x40, 0);
+        d.add_sharer(0x40, 3);
+        let e = d.peek(0x40);
+        assert!(e.is_sharer(0));
+        assert!(e.is_sharer(3));
+        assert!(!e.is_sharer(1));
+        assert_eq!(e.sharer_count(), 2);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn ownership_invalidates_others() {
+        let mut d = Directory::new();
+        d.add_sharer(0x80, 0);
+        d.add_sharer(0x80, 1);
+        d.add_sharer(0x80, 2);
+        let inv = d.set_owner(0x80, 1);
+        assert_eq!(inv, 0b101, "cores 0 and 2 invalidated");
+        let e = d.peek(0x80);
+        assert_eq!(e.owner, Some(1));
+        assert_eq!(e.sharers, 0b010);
+    }
+
+    #[test]
+    fn downgrade_owner_on_shared_read() {
+        let mut d = Directory::new();
+        d.set_owner(0xc0, 2);
+        d.add_sharer(0xc0, 2); // owner re-reads => still fine
+        assert_eq!(d.peek(0xc0).owner, None, "owner adding itself as sharer downgrades");
+        d.set_owner(0xc0, 2);
+        d.add_sharer(0xc0, 5);
+        let e = d.peek(0xc0);
+        assert!(e.is_sharer(2) && e.is_sharer(5));
+    }
+
+    #[test]
+    fn remove_sharer_cleans_up() {
+        let mut d = Directory::new();
+        d.set_owner(0x100, 4);
+        d.remove_sharer(0x100, 4);
+        assert_eq!(d.peek(0x100), DirEntry::default());
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn remove_nonsharer_is_noop() {
+        let mut d = Directory::new();
+        d.add_sharer(0x140, 1);
+        d.remove_sharer(0x140, 2);
+        assert!(d.peek(0x140).is_sharer(1));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        AddSharer(u64, usize),
+        SetOwner(u64, usize),
+        Remove(u64, usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..8, 0usize..16).prop_map(|(l, c)| Op::AddSharer(l * 64, c)),
+            (0u64..8, 0usize..16).prop_map(|(l, c)| Op::SetOwner(l * 64, c)),
+            (0u64..8, 0usize..16).prop_map(|(l, c)| Op::Remove(l * 64, c)),
+        ]
+    }
+
+    proptest! {
+        /// Invariant: whenever a line has an owner, the owner is the sole
+        /// sharer.
+        #[test]
+        fn owner_implies_sole_sharer(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut d = Directory::new();
+            let mut lines = std::collections::HashSet::new();
+            for op in ops {
+                match op {
+                    Op::AddSharer(l, c) => { d.add_sharer(l, c); lines.insert(l); }
+                    Op::SetOwner(l, c) => { d.set_owner(l, c); lines.insert(l); }
+                    Op::Remove(l, c) => { d.remove_sharer(l, c); }
+                }
+                for &l in &lines {
+                    let e = d.peek(l);
+                    if let Some(o) = e.owner {
+                        prop_assert_eq!(e.sharers, 1u64 << o);
+                    }
+                }
+            }
+        }
+    }
+}

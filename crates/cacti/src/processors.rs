@@ -1,0 +1,119 @@
+//! Table VI reference processors and the paper's §V.C cost arithmetic.
+
+use crate::model::{estimate_fa, ArrayConfig};
+use crate::tech::TechNode;
+
+/// One row of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Processor {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Process node, nanometres.
+    pub tech_nm: u32,
+    /// Clock, GHz.
+    pub clock_ghz: f64,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads.
+    pub threads: u32,
+    /// Thermal design power, watts.
+    pub tdp_w: f64,
+    /// Die area, square millimetres.
+    pub area_mm2: f64,
+}
+
+/// Table VI: parameters of some contemporary processors.
+pub const PROCESSORS: [Processor; 3] = [
+    Processor {
+        name: "UltraSPARC T1",
+        tech_nm: 90,
+        clock_ghz: 1.4,
+        cores: 8,
+        threads: 32,
+        tdp_w: 72.0,
+        area_mm2: 378.0,
+    },
+    Processor {
+        name: "UltraSPARC T2",
+        tech_nm: 65,
+        clock_ghz: 1.4,
+        cores: 8,
+        threads: 64,
+        tdp_w: 84.0,
+        area_mm2: 342.0,
+    },
+    Processor {
+        name: "Rock Processor",
+        tech_nm: 65,
+        clock_ghz: 2.3,
+        cores: 16,
+        threads: 32,
+        tdp_w: 250.0,
+        area_mm2: 396.0,
+    },
+];
+
+/// Per-core SUV storage in kilobytes: the summary signature, its
+/// written-once bit-vector, and the packed first-level table
+/// (§V.C: (2Kb + 2Kb + 22b x 512)/8 = 1.875 KB).
+pub fn storage_per_core_kb(summary_bits: u64, vector_bits: u64, entries: u64, entry_bits: u64) -> f64 {
+    (summary_bits + vector_bits + entries * entry_bits) as f64 / 8.0 / 1024.0
+}
+
+/// §V.C's worst-case chip-wide dynamic energy bound in joules per second:
+/// every core accessing its table every cycle, averaging read and write
+/// energy (the paper halves CACTI's 8-byte-line estimate because real
+/// entries are 22-bit).
+pub fn worst_case_power_w(n_cores: u32, clock_ghz: f64, nm: u32) -> f64 {
+    let node = TechNode::by_nm(nm).expect("known node");
+    let e = estimate_fa(&ArrayConfig::paper_l1_table(), &node);
+    0.5 * (e.read_nj + e.write_nj) * n_cores as f64 * clock_ghz
+}
+
+/// §V.C's chip-wide first-level table area, halved like the energy bound.
+pub fn tables_area_mm2(n_cores: u32, nm: u32) -> f64 {
+    let node = TechNode::by_nm(nm).expect("known node");
+    0.5 * n_cores as f64 * estimate_fa(&ArrayConfig::paper_l1_table(), &node).area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_cost_matches_paper() {
+        let kb = storage_per_core_kb(2048, 2048, 512, 22);
+        assert!((kb - 1.875).abs() < 1e-9);
+        // "about 5.86% of the L1 data cache (32 KB)".
+        let pct = kb / 32.0 * 100.0;
+        assert!((pct - 5.86).abs() < 0.01, "{pct}%");
+    }
+
+    #[test]
+    fn energy_bound_matches_paper() {
+        // 0.5 x (0.150 + 0.163) nJ x 16 cores x 1.2 GHz ~= 3 W, about
+        // 1.2% of the Rock processor's 250 W TDP.
+        let p = worst_case_power_w(16, 1.2, 45);
+        assert!((p - 3.0).abs() < 0.1, "worst-case power {p} W");
+        let rock = PROCESSORS[2];
+        let pct = p / rock.tdp_w * 100.0;
+        assert!(pct < 1.5, "{pct}% of Rock TDP");
+    }
+
+    #[test]
+    fn area_bound_matches_paper() {
+        // 0.5 x 16 x 0.282 mm^2 = 2.26 mm^2, ~0.6% of Rock's 396 mm^2.
+        let a = tables_area_mm2(16, 45);
+        assert!((a - 2.26).abs() < 0.05, "area {a} mm^2");
+        let pct = a / PROCESSORS[2].area_mm2 * 100.0;
+        assert!((pct - 0.6).abs() < 0.1, "{pct}%");
+    }
+
+    #[test]
+    fn table6_shape() {
+        assert_eq!(PROCESSORS.len(), 3);
+        let rock = PROCESSORS.iter().find(|p| p.name.contains("Rock")).unwrap();
+        assert_eq!(rock.cores, 16);
+        assert_eq!(rock.tdp_w, 250.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-technology device tables.
+//!
+//! CACTI carries ITRS-derived device data per process node; `cacti-lite`
+//! keeps the four nodes the paper evaluates. `fo4_ps` is the fanout-of-4
+//! inverter delay (the unit all array delays are expressed in), `vdd` the
+//! supply voltage, `cap_rel` the wire/gate capacitance relative to 45 nm,
+//! and `area_rel` the effective per-bit array area (cells + periphery)
+//! relative to 45 nm. Values are calibrated against CACTI 5.3 output for
+//! small fully-associative arrays.
+
+/// One process node's device parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub nm: u32,
+    /// Fanout-of-4 inverter delay, picoseconds.
+    pub fo4_ps: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Capacitance per switched bit relative to 45 nm.
+    pub cap_rel: f64,
+    /// Effective array area per bit relative to 45 nm.
+    pub area_rel: f64,
+}
+
+/// The nodes of Table VII.
+pub const NODES: [TechNode; 4] = [
+    TechNode { nm: 90, fo4_ps: 30.1, vdd: 1.16, cap_rel: 2.000, area_rel: 3.372 },
+    TechNode { nm: 65, fo4_ps: 21.6, vdd: 1.05, cap_rel: 1.444, area_rel: 2.089 },
+    TechNode { nm: 45, fo4_ps: 12.8, vdd: 1.00, cap_rel: 1.000, area_rel: 1.000 },
+    TechNode { nm: 32, fo4_ps: 9.0, vdd: 0.82, cap_rel: 0.711, area_rel: 0.507 },
+];
+
+impl TechNode {
+    /// Look a node up by feature size.
+    pub fn by_nm(nm: u32) -> Option<TechNode> {
+        NODES.iter().copied().find(|n| n.nm == nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert_eq!(TechNode::by_nm(45).unwrap().vdd, 1.0);
+        assert!(TechNode::by_nm(22).is_none());
+    }
+
+    #[test]
+    fn monotonic_scaling() {
+        for w in NODES.windows(2) {
+            assert!(w[0].nm > w[1].nm);
+            assert!(w[0].fo4_ps > w[1].fo4_ps, "delay shrinks with feature size");
+            assert!(w[0].vdd >= w[1].vdd, "voltage scales down");
+            assert!(w[0].cap_rel > w[1].cap_rel);
+            assert!(w[0].area_rel > w[1].area_rel);
+        }
+    }
+}

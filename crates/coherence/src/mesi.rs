@@ -1,0 +1,41 @@
+//! MESI state for L1-resident lines. Absence from the tag array is the
+//! Invalid state.
+
+/// Coherence state of a resident L1 line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mesi {
+    /// Modified: exclusive and dirty with respect to the rest of the
+    /// hierarchy.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly-replicated, clean, read-only.
+    #[default]
+    Shared,
+}
+
+impl Mesi {
+    /// Can the core load from this state without a coherence request?
+    pub fn grants_load(&self) -> bool {
+        true // any resident state permits loads
+    }
+
+    /// Can the core store to this state without a coherence request?
+    /// (E upgrades to M silently.)
+    pub fn grants_store(&self) -> bool {
+        matches!(self, Mesi::Modified | Mesi::Exclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(Mesi::Modified.grants_load() && Mesi::Modified.grants_store());
+        assert!(Mesi::Exclusive.grants_load() && Mesi::Exclusive.grants_store());
+        assert!(Mesi::Shared.grants_load());
+        assert!(!Mesi::Shared.grants_store());
+    }
+}

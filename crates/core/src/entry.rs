@@ -1,0 +1,214 @@
+//! Redirect-entry states (Table II) and the hardware encoding (Figure 3).
+//!
+//! Each entry carries a *global* bit and a *valid* bit:
+//!
+//! | global | valid | meaning                                            |
+//! |--------|-------|----------------------------------------------------|
+//! |   1    |   1   | committed redirection, visible to every access     |
+//! |   1    |   0   | committed redirection being deleted by a live tx   |
+//! |   0    |   1   | new redirection created by a live tx               |
+//! |   0    |   0   | dead (slot reclaimable)                            |
+//!
+//! Commit flash rule: `global ^= 1` selected by `valid` — (0,1)->(1,1),
+//! (1,0)->(0,0). Abort flash rule: `valid ^= 1` selected by `global` —
+//! (0,1)->(0,0), (1,0)->(1,1). Exactly the transitions of §IV.B.
+
+/// The (global, valid) state of a redirect entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryState {
+    /// Visible to all memory accesses (committed)?
+    pub global: bool,
+    /// Mapping currently in force?
+    pub valid: bool,
+}
+
+impl EntryState {
+    /// Committed, in-force redirection.
+    pub const GLOBAL_VALID: EntryState = EntryState { global: true, valid: true };
+    /// Committed redirection a live transaction is deleting (redirect-back).
+    pub const GLOBAL_DELETING: EntryState = EntryState { global: true, valid: false };
+    /// Uncommitted redirection created by a live transaction.
+    pub const LOCAL_VALID: EntryState = EntryState { global: false, valid: true };
+    /// Dead entry.
+    pub const DEAD: EntryState = EntryState { global: false, valid: false };
+
+    /// Apply the commit flash transition.
+    pub fn on_commit(self) -> EntryState {
+        if self.valid {
+            EntryState { global: true, valid: true }
+        } else {
+            EntryState { global: false, valid: false }
+        }
+    }
+
+    /// Apply the abort flash transition.
+    pub fn on_abort(self) -> EntryState {
+        if self.global {
+            EntryState { global: true, valid: true }
+        } else {
+            EntryState { global: false, valid: false }
+        }
+    }
+
+    /// Is this one of the two transient states only a live transaction
+    /// observes?
+    pub fn is_transient(self) -> bool {
+        self.global != self.valid
+    }
+}
+
+/// The 22-bit packed first-level entry of Figure 3: 7-bit L1 cache set
+/// index (original address clue), 2-bit present state, 6-bit TLB index
+/// (redirect pool page clue) and 7-bit in-page line offset.
+///
+/// The simulator's logical table stores full addresses; this encoding
+/// exists to validate the paper's storage-cost arithmetic (22 bits/entry,
+/// 1.875 KB per core — §V.C) and to demonstrate losslessness given the
+/// cache-tag and TLB context it piggybacks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedEntry(pub u32);
+
+impl PackedEntry {
+    /// Total bits per first-level entry.
+    pub const BITS: u32 = 22;
+
+    /// Pack the fields.
+    pub fn pack(l1_set: u8, state: EntryState, tlb_index: u8, page_line: u8) -> Self {
+        assert!(l1_set < 128, "7-bit L1 set index");
+        assert!(tlb_index < 64, "6-bit TLB index");
+        assert!(page_line < 128, "7-bit in-page offset (64 lines/page + spare)");
+        let st = ((state.global as u32) << 1) | state.valid as u32;
+        PackedEntry(
+            (l1_set as u32) << 15 | st << 13 | (tlb_index as u32) << 7 | page_line as u32,
+        )
+    }
+
+    /// L1 data-cache set index bits (identify the original address
+    /// together with the cache tag).
+    pub fn l1_set(self) -> u8 {
+        ((self.0 >> 15) & 0x7f) as u8
+    }
+
+    /// Present-state bits as an [`EntryState`].
+    pub fn state(self) -> EntryState {
+        let st = (self.0 >> 13) & 0b11;
+        EntryState { global: st & 0b10 != 0, valid: st & 0b01 != 0 }
+    }
+
+    /// TLB-entry index holding the pool page's physical address.
+    pub fn tlb_index(self) -> u8 {
+        ((self.0 >> 7) & 0x3f) as u8
+    }
+
+    /// Line offset within the pool page.
+    pub fn page_line(self) -> u8 {
+        (self.0 & 0x7f) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_transitions_match_table2() {
+        assert_eq!(EntryState::LOCAL_VALID.on_commit(), EntryState::GLOBAL_VALID);
+        assert_eq!(EntryState::GLOBAL_DELETING.on_commit(), EntryState::DEAD);
+        // Stable states are unchanged by commit.
+        assert_eq!(EntryState::GLOBAL_VALID.on_commit(), EntryState::GLOBAL_VALID);
+        assert_eq!(EntryState::DEAD.on_commit(), EntryState::DEAD);
+    }
+
+    #[test]
+    fn abort_transitions_match_table2() {
+        assert_eq!(EntryState::LOCAL_VALID.on_abort(), EntryState::DEAD);
+        assert_eq!(EntryState::GLOBAL_DELETING.on_abort(), EntryState::GLOBAL_VALID);
+        assert_eq!(EntryState::GLOBAL_VALID.on_abort(), EntryState::GLOBAL_VALID);
+        assert_eq!(EntryState::DEAD.on_abort(), EntryState::DEAD);
+    }
+
+    #[test]
+    fn transience() {
+        assert!(EntryState::LOCAL_VALID.is_transient());
+        assert!(EntryState::GLOBAL_DELETING.is_transient());
+        assert!(!EntryState::GLOBAL_VALID.is_transient());
+        assert!(!EntryState::DEAD.is_transient());
+    }
+
+    #[test]
+    fn commit_then_abort_is_stable() {
+        // Once committed, abort flashes (issued by other transactions'
+        // failures) must never disturb the entry.
+        let committed = EntryState::LOCAL_VALID.on_commit();
+        assert_eq!(committed.on_abort(), committed);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        for set in [0u8, 1, 64, 127] {
+            for st in [
+                EntryState::GLOBAL_VALID,
+                EntryState::GLOBAL_DELETING,
+                EntryState::LOCAL_VALID,
+                EntryState::DEAD,
+            ] {
+                for tlb in [0u8, 5, 63] {
+                    for off in [0u8, 64, 127] {
+                        let p = PackedEntry::pack(set, st, tlb, off);
+                        assert_eq!(p.l1_set(), set);
+                        assert_eq!(p.state(), st);
+                        assert_eq!(p.tlb_index(), tlb);
+                        assert_eq!(p.page_line(), off);
+                        assert!(p.0 < 1 << PackedEntry::BITS, "fits in 22 bits");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_storage_arithmetic() {
+        // §V.C: (2Kb + 2Kb + 22b x 512) / 8 = 1.875 KB per core.
+        let bits = 2048 + 2048 + PackedEntry::BITS as u64 * 512;
+        assert_eq!(bits % 8, 0);
+        let kb = bits as f64 / 8.0 / 1024.0;
+        assert!((kb - 1.875).abs() < 1e-9, "per-core cost {kb} KB != 1.875 KB");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Flash transitions are idempotent: applying the same end-of-tx
+        /// flash twice equals applying it once.
+        #[test]
+        fn flash_idempotent(g in any::<bool>(), v in any::<bool>()) {
+            let s = EntryState { global: g, valid: v };
+            prop_assert_eq!(s.on_commit().on_commit(), s.on_commit());
+            prop_assert_eq!(s.on_abort().on_abort(), s.on_abort());
+        }
+
+        /// After either flash the entry is in a stable state.
+        #[test]
+        fn flash_reaches_stable(g in any::<bool>(), v in any::<bool>()) {
+            let s = EntryState { global: g, valid: v };
+            prop_assert!(!s.on_commit().is_transient());
+            prop_assert!(!s.on_abort().is_transient());
+        }
+
+        /// Packing is injective over the fields.
+        #[test]
+        fn pack_injective(a in 0u8..128, b in 0u8..4, c in 0u8..64, d in 0u8..128,
+                          a2 in 0u8..128, b2 in 0u8..4, c2 in 0u8..64, d2 in 0u8..128) {
+            let st = |x: u8| EntryState { global: x & 2 != 0, valid: x & 1 != 0 };
+            let p = PackedEntry::pack(a, st(b), c, d);
+            let q = PackedEntry::pack(a2, st(b2), c2, d2);
+            if (a, b, c, d) != (a2, b2, c2, d2) {
+                prop_assert_ne!(p, q);
+            }
+        }
+    }
+}

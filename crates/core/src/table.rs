@@ -1,0 +1,551 @@
+//! The two-level redirect table.
+//!
+//! Logically the table is one chip-wide map from original line addresses to
+//! redirect state — a committed target plus any transient (per-transaction)
+//! operations. Physically, entries are cached in a per-core zero-latency
+//! fully-associative first-level table and a shared, slower second-level
+//! table; entries evicted from both are "swapped out" to main memory, where
+//! a software-managed search finds them. A lookup that misses both hardware
+//! levels *speculatively proceeds with the original address* (paper §IV.A),
+//! so only lookups whose entry genuinely lives in memory pay the search.
+
+use crate::entry::EntryState;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use suv_cache::TagArray;
+use suv_mem::PoolAllocator;
+use suv_sig::SummarySignature;
+use suv_types::{CacheGeom, CoreId, Cycle, LineAddr, RedirectStats, SuvConfig};
+
+/// A transaction's in-flight operation on one line's redirect state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transient {
+    /// A new redirection to a pool slot (entry state `LOCAL_VALID`).
+    New {
+        /// The pool line holding the speculative new value.
+        slot: LineAddr,
+    },
+    /// Deletion of the committed redirection — the *redirect-back*
+    /// optimization: the new value is written to the original address and
+    /// the entry is reclaimed on commit (entry state `GLOBAL_DELETING`).
+    DeleteGlobal,
+}
+
+impl Transient {
+    /// The Table II state this transient corresponds to.
+    pub fn state(self) -> EntryState {
+        match self {
+            Transient::New { .. } => EntryState::LOCAL_VALID,
+            Transient::DeleteGlobal => EntryState::GLOBAL_DELETING,
+        }
+    }
+}
+
+/// Redirect state of one line.
+#[derive(Debug, Default, Clone)]
+struct LineEntry {
+    /// Committed redirection target, if any (`GLOBAL_VALID`).
+    committed: Option<LineAddr>,
+    /// Live transactions' transient operations (more than one only under
+    /// lazy conflict detection).
+    transients: Vec<(CoreId, Transient)>,
+}
+
+impl LineEntry {
+    fn is_empty(&self) -> bool {
+        self.committed.is_none() && self.transients.is_empty()
+    }
+}
+
+/// What a lookup tells the requesting core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupHit {
+    /// The committed redirection target, if any.
+    pub committed: Option<LineAddr>,
+    /// The requesting core's own transient operation, if any.
+    pub own: Option<Transient>,
+    /// Some other live transaction is deleting the committed entry
+    /// (possible only under lazy conflict detection); a new writer must
+    /// then take a fresh pool slot instead of redirecting back.
+    pub foreign_delete: bool,
+}
+
+/// The chip-wide redirect table with its two hardware levels.
+pub struct RedirectTable {
+    map: HashMap<LineAddr, LineEntry>,
+    l1: Vec<TagArray<()>>,
+    l2: TagArray<()>,
+    in_memory: HashSet<LineAddr>,
+    tx_entries: Vec<BTreeSet<LineAddr>>,
+    ovf_l1: Vec<bool>,
+    ovf_mem: Vec<bool>,
+    cfg: SuvConfig,
+    stats: RedirectStats,
+}
+
+impl RedirectTable {
+    /// Build the table for `n_cores` cores.
+    pub fn new(n_cores: usize, cfg: &SuvConfig) -> Self {
+        let l1_geom = CacheGeom {
+            // One set x l1_entries ways: fully associative.
+            capacity_bytes: cfg.l1_entries as u64 * 64,
+            ways: cfg.l1_entries,
+            line_bytes: 64,
+            latency: cfg.l1_latency,
+        };
+        let l2_geom = CacheGeom {
+            capacity_bytes: cfg.l2_entries as u64 * 64,
+            ways: cfg.l2_ways,
+            line_bytes: 64,
+            latency: cfg.l2_latency,
+        };
+        RedirectTable {
+            map: HashMap::new(),
+            l1: (0..n_cores).map(|_| TagArray::new(&l1_geom)).collect(),
+            l2: TagArray::new(&l2_geom),
+            in_memory: HashSet::new(),
+            tx_entries: (0..n_cores).map(|_| BTreeSet::new()).collect(),
+            ovf_l1: vec![false; n_cores],
+            ovf_mem: vec![false; n_cores],
+            cfg: *cfg,
+            stats: RedirectStats::default(),
+        }
+    }
+
+    /// Did the given core's running transaction touch this line's entry?
+    /// (The Figure 4 "check the write signature first" step, made exact.)
+    pub fn tx_touched(&self, core: CoreId, line: LineAddr) -> bool {
+        self.tx_entries[core].contains(&line)
+    }
+
+    /// Install `line` into the caching hierarchy after a lookup or insert,
+    /// tracking redirect-table overflow events.
+    fn install(&mut self, core: CoreId, line: LineAddr) {
+        if let Some(ev) = self.l1[core].insert(line, false) {
+            if self.tx_entries[core].contains(&ev.line) {
+                self.ovf_l1[core] = true;
+            }
+        }
+        if let Some(ev) = self.l2.insert(line, false) {
+            if self.map.contains_key(&ev.line) {
+                self.in_memory.insert(ev.line);
+                for (c, set) in self.tx_entries.iter().enumerate() {
+                    if set.contains(&ev.line) {
+                        self.ovf_mem[c] = true;
+                    }
+                }
+            }
+        }
+        self.in_memory.remove(&line);
+    }
+
+    /// Look up a line's redirect state on behalf of `core`. Returns the
+    /// core's view and the lookup latency.
+    pub fn lookup(&mut self, core: CoreId, line: LineAddr) -> (Option<LookupHit>, Cycle) {
+        self.stats.l1_lookups += 1;
+        let lat;
+        if self.l1[core].touch(line) {
+            lat = self.cfg.l1_latency;
+        } else {
+            self.stats.l1_misses += 1;
+            if self.l2.touch(line) {
+                lat = self.cfg.l1_latency + self.cfg.l2_latency;
+                self.install(core, line);
+            } else if self.map.contains_key(&line) {
+                // Swapped out: the software search in main memory.
+                self.stats.mem_lookups += 1;
+                lat = self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.mem_search_cycles;
+                self.install(core, line);
+            } else {
+                // No entry anywhere: the speculative original-address
+                // bypass overlaps the second-level probe and the memory
+                // search entirely — the access proceeds with the original
+                // address at no extra cost (paper SIV.A).
+                lat = self.cfg.l1_latency;
+            }
+        }
+        let hit = self.map.get(&line).map(|e| LookupHit {
+            committed: e.committed,
+            own: e.transients.iter().find(|(c, _)| *c == core).map(|(_, t)| *t),
+            foreign_delete: e
+                .transients
+                .iter()
+                .any(|(c, t)| *c != core && matches!(t, Transient::DeleteGlobal)),
+        });
+        (hit, lat)
+    }
+
+    /// Record a transient operation by `core` on `line`.
+    pub fn insert_transient(&mut self, core: CoreId, line: LineAddr, t: Transient) {
+        let e = self.map.entry(line).or_default();
+        debug_assert!(
+            !e.transients.iter().any(|(c, _)| *c == core),
+            "core {core} already has a transient on {line:#x}"
+        );
+        if matches!(t, Transient::DeleteGlobal) {
+            debug_assert!(e.committed.is_some(), "redirect-back needs a committed entry");
+            self.stats.entries_redirected_back += 1;
+        } else {
+            self.stats.entries_added += 1;
+        }
+        e.transients.push((core, t));
+        self.tx_entries[core].insert(line);
+        self.install(core, line);
+    }
+
+    /// Flash-commit `core`'s transients (Table II commit rule), updating
+    /// the summary signature and recycling pool slots. Returns the number
+    /// of entries processed.
+    pub fn commit(
+        &mut self,
+        core: CoreId,
+        summary: &mut SummarySignature,
+        pool: &mut PoolAllocator,
+    ) -> usize {
+        let lines = std::mem::take(&mut self.tx_entries[core]);
+        let n = lines.len();
+        for line in lines {
+            let e = self.map.get_mut(&line).expect("tx entry must exist");
+            let idx = e
+                .transients
+                .iter()
+                .position(|(c, _)| *c == core)
+                .expect("tx transient must exist");
+            let (_, t) = e.transients.swap_remove(idx);
+            match t {
+                Transient::New { slot } => {
+                    // LOCAL_VALID -> GLOBAL_VALID.
+                    if let Some(old) = e.committed.replace(slot) {
+                        // A previous committed redirection is superseded
+                        // (lazy mode); its slot is reclaimed and the
+                        // summary already contains the line.
+                        pool.free_slot(old);
+                    } else {
+                        summary.add(line);
+                    }
+                }
+                Transient::DeleteGlobal => {
+                    // GLOBAL_DELETING -> DEAD: the entry is reclaimed.
+                    let old = e.committed.take().expect("redirect-back had a committed entry");
+                    pool.free_slot(old);
+                    summary.delete(line);
+                }
+            }
+            if e.is_empty() {
+                self.map.remove(&line);
+                self.in_memory.remove(&line);
+            }
+        }
+        n
+    }
+
+    /// Flash-abort `core`'s transients (Table II abort rule): new
+    /// redirections die, deletions revert to `GLOBAL_VALID`.
+    pub fn abort(&mut self, core: CoreId, pool: &mut PoolAllocator) -> usize {
+        let lines = std::mem::take(&mut self.tx_entries[core]);
+        let n = lines.len();
+        for line in lines {
+            let e = self.map.get_mut(&line).expect("tx entry must exist");
+            let idx = e
+                .transients
+                .iter()
+                .position(|(c, _)| *c == core)
+                .expect("tx transient must exist");
+            let (_, t) = e.transients.swap_remove(idx);
+            if let Transient::New { slot } = t {
+                pool.free_slot(slot);
+            }
+            if e.is_empty() {
+                self.map.remove(&line);
+                self.in_memory.remove(&line);
+            }
+        }
+        n
+    }
+
+    /// Flash-abort a specific subset of `core`'s transients (partial
+    /// abort of a nested level). Lines not in the subset stay live.
+    pub fn abort_lines(&mut self, core: CoreId, lines: &[LineAddr], pool: &mut PoolAllocator) {
+        for line in lines {
+            if !self.tx_entries[core].remove(line) {
+                continue;
+            }
+            let e = self.map.get_mut(line).expect("tx entry must exist");
+            let idx = e
+                .transients
+                .iter()
+                .position(|(c, _)| *c == core)
+                .expect("tx transient must exist");
+            let (_, t) = e.transients.swap_remove(idx);
+            if let Transient::New { slot } = t {
+                pool.free_slot(slot);
+            }
+            if e.is_empty() {
+                self.map.remove(line);
+                self.in_memory.remove(line);
+            }
+        }
+    }
+
+    /// Report and reset the per-transaction overflow flags for `core`.
+    pub fn take_overflow(&mut self, core: CoreId) -> (bool, bool) {
+        (std::mem::take(&mut self.ovf_l1[core]), std::mem::take(&mut self.ovf_mem[core]))
+    }
+
+    /// Live entries (committed or transient).
+    pub fn live_entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Entries currently swapped out to main memory.
+    pub fn swapped_out(&self) -> usize {
+        self.in_memory.len()
+    }
+
+    /// Lookup statistics (Figures 7/8).
+    pub fn stats(&self) -> RedirectStats {
+        self.stats
+    }
+
+    /// Count a summary-signature false positive (lookup found nothing).
+    pub fn note_false_positive(&mut self) {
+        self.stats.summary_false_positives += 1;
+    }
+
+    /// Fold the summary signature's filter counters into the stats.
+    pub fn absorb_summary_stats(&mut self, summary: &SummarySignature) {
+        self.stats.summary_filtered = summary.filtered();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suv_mem::Region;
+
+    pub(super) fn small_cfg() -> SuvConfig {
+        SuvConfig {
+            l1_entries: 4,
+            l1_latency: 0,
+            l2_entries: 16,
+            l2_ways: 2,
+            l2_latency: 10,
+            mem_search_cycles: 150,
+            pool_page_alloc_cycles: 30,
+            summary_bits: 256,
+            summary_hashes: 2,
+        }
+    }
+
+    fn setup() -> (RedirectTable, SummarySignature, PoolAllocator) {
+        (
+            RedirectTable::new(2, &small_cfg()),
+            SummarySignature::new(256, 2),
+            PoolAllocator::new(Region::pool()),
+        )
+    }
+
+    #[test]
+    fn new_entry_commit_becomes_global() {
+        let (mut t, mut sum, mut pool) = setup();
+        let (slot, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x1000, Transient::New { slot });
+        // The owner sees its transient; another core sees nothing usable.
+        let (hit, _) = t.lookup(0, 0x1000);
+        assert_eq!(hit.unwrap().own, Some(Transient::New { slot }));
+        let (hit1, _) = t.lookup(1, 0x1000);
+        let h1 = hit1.unwrap();
+        assert_eq!(h1.own, None);
+        assert_eq!(h1.committed, None);
+        t.commit(0, &mut sum, &mut pool);
+        // Now committed and visible to everyone.
+        let (hit1, _) = t.lookup(1, 0x1000);
+        assert_eq!(hit1.unwrap().committed, Some(slot));
+        assert!(sum.contains(0x1000));
+    }
+
+    #[test]
+    fn new_entry_abort_disappears_and_recycles_slot() {
+        let (mut t, sum, mut pool) = setup();
+        let (slot, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x2000, Transient::New { slot });
+        t.abort(0, &mut pool);
+        let (hit, _) = t.lookup(0, 0x2000);
+        assert!(hit.is_none());
+        assert!(!sum.contains(0x2000));
+        assert_eq!(pool.free_slots(), 1, "slot recycled");
+        assert_eq!(t.live_entries(), 0);
+    }
+
+    #[test]
+    fn redirect_back_commit_deletes_entry() {
+        let (mut t, mut sum, mut pool) = setup();
+        let (slot, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x3000, Transient::New { slot });
+        t.commit(0, &mut sum, &mut pool);
+        // Second transaction redirects back.
+        t.insert_transient(1, 0x3000, Transient::DeleteGlobal);
+        let (hit, _) = t.lookup(1, 0x3000);
+        assert_eq!(hit.unwrap().own, Some(Transient::DeleteGlobal));
+        t.commit(1, &mut sum, &mut pool);
+        let (hit, _) = t.lookup(1, 0x3000);
+        assert!(hit.is_none(), "entry deleted on redirect-back commit");
+        assert!(!sum.contains(0x3000), "summary entry deleted");
+        assert_eq!(pool.free_slots(), 1, "old slot reclaimed");
+        assert_eq!(t.stats().entries_redirected_back, 1);
+    }
+
+    #[test]
+    fn redirect_back_abort_restores_global() {
+        let (mut t, mut sum, mut pool) = setup();
+        let (slot, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x4000, Transient::New { slot });
+        t.commit(0, &mut sum, &mut pool);
+        t.insert_transient(1, 0x4000, Transient::DeleteGlobal);
+        t.abort(1, &mut pool);
+        let (hit, _) = t.lookup(0, 0x4000);
+        assert_eq!(hit.unwrap().committed, Some(slot), "GLOBAL_VALID restored");
+        assert!(sum.contains(0x4000));
+    }
+
+    #[test]
+    fn lookup_latencies_by_level() {
+        let (mut t, mut sum, mut pool) = setup();
+        let (slot, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x5000, Transient::New { slot });
+        t.commit(0, &mut sum, &mut pool);
+        // Core 0 cached it at insert: first-level hit, zero latency.
+        let (_, lat) = t.lookup(0, 0x5000);
+        assert_eq!(lat, 0);
+        // Core 1 misses its first level, hits the shared second level.
+        let (_, lat1) = t.lookup(1, 0x5000);
+        assert_eq!(lat1, 10);
+        // Now cached in core 1's first level too.
+        let (_, lat2) = t.lookup(1, 0x5000);
+        assert_eq!(lat2, 0);
+    }
+
+    #[test]
+    fn missing_entry_is_free_via_speculation() {
+        let (mut t, _, _) = setup();
+        let (hit, lat) = t.lookup(0, 0x9999_0000);
+        assert!(hit.is_none());
+        assert_eq!(lat, 0, "speculative bypass overlaps the whole search");
+    }
+
+    #[test]
+    fn swapped_out_entry_pays_memory_search() {
+        let cfg = small_cfg();
+        let (mut t, mut sum, mut pool) = setup();
+        // Commit far more entries than the 16-entry second level holds,
+        // all from core 0 (4-entry L1 keeps only the last few).
+        for i in 0..64u64 {
+            let (slot, _) = pool.alloc_slot();
+            t.insert_transient(0, 0x10_0000 + i * 64, Transient::New { slot });
+            t.commit(0, &mut sum, &mut pool);
+        }
+        assert!(t.swapped_out() > 0, "second level must have spilled");
+        // Find a line that is in memory and look it up from core 1.
+        let spilled = *t.in_memory.iter().next().unwrap();
+        let (hit, lat) = t.lookup(1, spilled);
+        assert!(hit.is_some());
+        assert_eq!(lat, cfg.l2_latency + cfg.mem_search_cycles);
+        assert!(t.stats().mem_lookups >= 1);
+    }
+
+    #[test]
+    fn tx_overflow_flags() {
+        let (mut t, _, mut pool) = setup();
+        // 5 transients into a 4-entry first level: one must spill.
+        for i in 0..5u64 {
+            let (slot, _) = pool.alloc_slot();
+            t.insert_transient(0, 0x20_0000 + i * 64, Transient::New { slot });
+        }
+        let (l1_ovf, _) = t.take_overflow(0);
+        assert!(l1_ovf, "first-level redirect table overflow must be flagged");
+        let (l1_ovf2, _) = t.take_overflow(0);
+        assert!(!l1_ovf2, "flags reset after take");
+        t.abort(0, &mut pool);
+    }
+
+    #[test]
+    fn concurrent_transients_from_lazy_mode() {
+        let (mut t, mut sum, mut pool) = setup();
+        let (s0, _) = pool.alloc_slot();
+        let (s1, _) = pool.alloc_slot();
+        t.insert_transient(0, 0x6000, Transient::New { slot: s0 });
+        t.insert_transient(1, 0x6000, Transient::New { slot: s1 });
+        // Each core sees its own transient.
+        assert_eq!(t.lookup(0, 0x6000).0.unwrap().own, Some(Transient::New { slot: s0 }));
+        assert_eq!(t.lookup(1, 0x6000).0.unwrap().own, Some(Transient::New { slot: s1 }));
+        // Core 1 commits first; core 0 aborts (doomed).
+        t.commit(1, &mut sum, &mut pool);
+        t.abort(0, &mut pool);
+        assert_eq!(t.lookup(0, 0x6000).0.unwrap().committed, Some(s1));
+        assert_eq!(pool.free_slots(), 1, "loser's slot recycled");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use suv_mem::Region;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Model-checking the table against a simple reference map under
+        /// single-core (eager) operation: after any sequence of
+        /// write+commit / write+abort transactions, the committed view
+        /// matches the model and no pool slot is leaked or double-used.
+        #[test]
+        fn eager_model_equivalence(txs in proptest::collection::vec(
+            (proptest::collection::vec(0u64..16, 1..6), any::<bool>()), 1..40))
+        {
+            let cfg = super::tests::small_cfg();
+            let mut t = RedirectTable::new(1, &cfg);
+            let mut sum = SummarySignature::new(256, 2);
+            let mut pool = PoolAllocator::new(Region::pool());
+            // Model: line -> currently redirected?
+            let mut model: std::collections::HashMap<u64, bool> = Default::default();
+            for (lines, commit) in txs {
+                let mut touched = std::collections::HashSet::new();
+                for l in lines {
+                    let line = 0x7000 + l * 64;
+                    if !touched.insert(line) {
+                        continue; // one transient per line per tx
+                    }
+                    let (hit, _) = t.lookup(0, line);
+                    let committed = hit.and_then(|h| h.committed);
+                    if t.tx_touched(0, line) {
+                        continue;
+                    }
+                    if committed.is_some() {
+                        t.insert_transient(0, line, Transient::DeleteGlobal);
+                    } else {
+                        let (slot, _) = pool.alloc_slot();
+                        t.insert_transient(0, line, Transient::New { slot });
+                    }
+                }
+                if commit {
+                    for line in &touched {
+                        let e = model.entry(*line).or_insert(false);
+                        *e = !*e; // New toggles on; DeleteGlobal toggles off
+                    }
+                    t.commit(0, &mut sum, &mut pool);
+                } else {
+                    t.abort(0, &mut pool);
+                }
+                // Check the committed view against the model.
+                for (line, redirected) in &model {
+                    let (hit, _) = t.lookup(0, *line);
+                    let has = hit.map(|h| h.committed.is_some()).unwrap_or(false);
+                    prop_assert_eq!(has, *redirected, "line {:#x}", line);
+                    if *redirected {
+                        prop_assert!(sum.contains(*line), "summary superset violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Lazy (TCC/LTM-style) version management: the write buffer.
+//!
+//! Speculative stores are buffered privately; loads snoop the local buffer
+//! first. Commit merges the buffer into memory line by line, acquiring
+//! ownership of each line — the *merge* time that stretches the isolation
+//! window of lazy schemes (Figure 1's merge pathology). Abort just drops
+//! the buffer. DynTM uses this as its lazy execution mode.
+
+use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
+use std::collections::HashMap;
+use suv_coherence::AccessKind;
+use suv_types::{line_of, word_of, Addr, CoreId, Cycle, LineAddr, SchemeKind};
+
+#[derive(Debug, Default)]
+struct Buffer {
+    /// Buffered word values.
+    words: HashMap<Addr, u64>,
+    /// Lines touched, in first-write order (merge order is deterministic).
+    lines: Vec<LineAddr>,
+}
+
+/// Write-buffer lazy VM.
+pub struct LazyVm {
+    bufs: Vec<Buffer>,
+}
+
+impl LazyVm {
+    /// One buffer per core.
+    pub fn new(n_cores: usize) -> Self {
+        LazyVm { bufs: (0..n_cores).map(|_| Buffer::default()).collect() }
+    }
+
+    /// Buffered distinct lines for a core (tests).
+    pub fn buffered_lines(&self, core: CoreId) -> usize {
+        self.bufs[core].lines.len()
+    }
+}
+
+impl VersionManager for LazyVm {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Lazy
+    }
+
+    fn begin(&mut self, _env: &mut VmEnv, core: CoreId, _lazy: bool) -> Cycle {
+        let b = &mut self.bufs[core];
+        b.words.clear();
+        b.lines.clear();
+        0
+    }
+
+    fn resolve_load(
+        &mut self,
+        _env: &mut VmEnv,
+        core: CoreId,
+        addr: Addr,
+        in_tx: bool,
+    ) -> (LoadTarget, Cycle) {
+        if in_tx {
+            if let Some(v) = self.bufs[core].words.get(&word_of(addr)) {
+                return (LoadTarget::Value(*v), 0);
+            }
+        }
+        (LoadTarget::Mem(addr), 0)
+    }
+
+    fn prepare_store(
+        &mut self,
+        _env: &mut VmEnv,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        in_tx: bool,
+    ) -> (StoreTarget, Cycle) {
+        if !in_tx {
+            return (StoreTarget::Mem(addr), 0);
+        }
+        let b = &mut self.bufs[core];
+        let line = line_of(addr);
+        if !b.lines.contains(&line) {
+            b.lines.push(line);
+        }
+        b.words.insert(word_of(addr), value);
+        (StoreTarget::Buffered, 0)
+    }
+
+    fn commit(&mut self, env: &mut VmEnv, core: CoreId) -> Cycle {
+        // Merge: acquire ownership of each written line and write the
+        // buffered words through. This is the commit-side data movement
+        // lazy schemes pay.
+        let b = std::mem::take(&mut self.bufs[core]);
+        let mut lat = 0;
+        for line in &b.lines {
+            lat += if env.sys.has_permission(core, *line, AccessKind::Store) {
+                env.sys.access_hit(core, *line, AccessKind::Store)
+            } else {
+                env.sys.fill(env.now + lat, core, *line, AccessKind::Store).latency
+            };
+        }
+        for (addr, v) in &b.words {
+            env.mem.write_word(*addr, *v);
+        }
+        lat
+    }
+
+    fn abort(&mut self, _env: &mut VmEnv, core: CoreId) -> Cycle {
+        // Discard the buffer: single-cycle flash clear.
+        let b = &mut self.bufs[core];
+        b.words.clear();
+        b.lines.clear();
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suv_coherence::MemorySystem;
+    use suv_mem::Memory;
+    use suv_types::MachineConfig;
+
+    fn setup() -> (Memory, MemorySystem, LazyVm) {
+        let mc = MachineConfig::small_test();
+        (Memory::new(), MemorySystem::new(&mc), LazyVm::new(mc.n_cores))
+    }
+
+    #[test]
+    fn stores_invisible_until_commit() {
+        let (mut mem, mut sys, mut vm) = setup();
+        mem.write_word(0x100, 5);
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        vm.begin(&mut env, 0, false);
+        let (tgt, _) = vm.prepare_store(&mut env, 0, 0x100, 9, true);
+        assert_eq!(tgt, StoreTarget::Buffered);
+        assert_eq!(env.mem.read_word(0x100), 5, "memory untouched before commit");
+        // The writing core sees its own buffered value.
+        let (lt, _) = vm.resolve_load(&mut env, 0, 0x100, true);
+        assert_eq!(lt, LoadTarget::Value(9));
+        // Another core still resolves to memory.
+        let (lt1, _) = vm.resolve_load(&mut env, 1, 0x100, true);
+        assert_eq!(lt1, LoadTarget::Mem(0x100));
+    }
+
+    #[test]
+    fn commit_merges_and_costs_per_line() {
+        let (mut mem, mut sys, mut vm) = setup();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        vm.begin(&mut env, 0, false);
+        for i in 0..8u64 {
+            vm.prepare_store(&mut env, 0, 0x2000 + i * 64, i, true);
+        }
+        let big = vm.commit(&mut env, 0);
+        vm.begin(&mut env, 0, false);
+        vm.prepare_store(&mut env, 0, 0x8000, 42, true);
+        let small = vm.commit(&mut env, 0);
+        assert!(big > small, "merge time scales with write set ({big} vs {small})");
+        for i in 0..8u64 {
+            assert_eq!(mem.read_word(0x2000 + i * 64), i);
+        }
+        assert_eq!(mem.read_word(0x8000), 42);
+    }
+
+    #[test]
+    fn abort_discards_cheaply() {
+        let (mut mem, mut sys, mut vm) = setup();
+        mem.write_word(0x300, 1);
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        vm.begin(&mut env, 0, false);
+        vm.prepare_store(&mut env, 0, 0x300, 2, true);
+        let lat = vm.abort(&mut env, 0);
+        assert_eq!(lat, 1, "lazy abort is a flash discard");
+        assert_eq!(env.mem.read_word(0x300), 1);
+        assert_eq!(vm.buffered_lines(0), 0);
+    }
+
+    #[test]
+    fn word_granularity_merge_preserves_unwritten_words() {
+        let (mut mem, mut sys, mut vm) = setup();
+        mem.write_word(0x400, 10);
+        mem.write_word(0x408, 20);
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        vm.begin(&mut env, 0, false);
+        vm.prepare_store(&mut env, 0, 0x408, 99, true);
+        vm.commit(&mut env, 0);
+        assert_eq!(mem.read_word(0x400), 10, "unwritten word survives the merge");
+        assert_eq!(mem.read_word(0x408), 99);
+    }
+
+    #[test]
+    fn buffers_are_per_core() {
+        let (mut mem, mut sys, mut vm) = setup();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        vm.begin(&mut env, 0, false);
+        vm.begin(&mut env, 1, false);
+        vm.prepare_store(&mut env, 0, 0x500, 1, true);
+        vm.prepare_store(&mut env, 1, 0x540, 2, true);
+        assert_eq!(vm.buffered_lines(0), 1);
+        assert_eq!(vm.buffered_lines(1), 1);
+        vm.abort(&mut env, 0);
+        assert_eq!(vm.buffered_lines(1), 1, "core 1's buffer unaffected");
+    }
+}

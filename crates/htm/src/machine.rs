@@ -1,0 +1,919 @@
+//! The transactional memory controller.
+//!
+//! [`HtmMachine`] is the single point through which simulated threads touch
+//! memory. It owns the functional memory, the timing model, the per-core
+//! transaction descriptors and the pluggable version manager, and
+//! implements the pieces every compared scheme shares:
+//!
+//! * **Eager conflict detection** — an access that needs a coherence
+//!   request is checked against every other core's read/write signature
+//!   (LogTM-SE's conservative summary behaviour); a hit produces a NACK.
+//! * **Stall policy with possible-cycle deadlock avoidance** — NACKed
+//!   requesters retry; a transaction that has NACKed an older transaction
+//!   sets its `possible_cycle` flag and aborts itself if it is then NACKed
+//!   by an older transaction (the LogTM rule).
+//! * **Isolation windows** — a transaction keeps defending its sets while
+//!   `Aborting` or `Committing`; how long those windows last is exactly
+//!   what distinguishes the version managers.
+//! * **Lazy mode (DynTM)** — lazy transactions skip eager checks; commit
+//!   arbitrates on a chip-wide token, validates against every live
+//!   signature, dooms conflicting lazy transactions, and loses to eager
+//!   owners.
+//! * **Strong isolation** — non-transactional accesses run the same
+//!   resolution and conflict checks.
+
+use crate::tx::{TxState, TxStatus};
+use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suv_coherence::{AccessKind, MemorySystem};
+use suv_mem::Memory;
+use suv_types::{
+    line_of, word_of, Addr, CoreId, Cycle, LineAddr, MachineConfig, OverflowStats, TxSite, TxStats,
+};
+
+/// Outcome of a memory access through the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The access completed.
+    Done {
+        /// Loaded value (0 for stores).
+        value: u64,
+        /// Cycles consumed.
+        latency: Cycle,
+    },
+    /// The access was NACKed by `nacker`'s transaction; the requester
+    /// should stall and retry, or abort when `must_abort` is set
+    /// (possible-cycle rule).
+    Nacked { nacker: CoreId, latency: Cycle, must_abort: bool },
+    /// The core's transaction was doomed by a lazy committer and must
+    /// abort before doing anything else.
+    MustAbort { latency: Cycle },
+}
+
+/// Outcome of a commit request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Committed. `committing` is the portion of `latency` attributable to
+    /// lazy arbitration + merge (the Figure 9 "Committing" component).
+    Committed { latency: Cycle, committing: Cycle },
+    /// Commit-time validation failed (or the transaction was doomed); the
+    /// caller must abort.
+    MustAbort { latency: Cycle },
+}
+
+/// The HTM controller.
+pub struct HtmMachine {
+    cfg: MachineConfig,
+    /// Functional memory (public for workload setup code).
+    pub mem: Memory,
+    /// Timing model (public for tests that inspect cache state).
+    pub sys: MemorySystem,
+    txs: Vec<TxState>,
+    vm: Box<dyn VersionManager>,
+    tx_stats: Vec<TxStats>,
+    overflow: OverflowStats,
+    /// Chip-wide lazy-commit token: free-at time.
+    commit_token_free: Cycle,
+    rngs: Vec<StdRng>,
+}
+
+impl HtmMachine {
+    /// Build a machine running the given version-management scheme.
+    pub fn new(cfg: &MachineConfig, vm: Box<dyn VersionManager>) -> Self {
+        HtmMachine {
+            cfg: *cfg,
+            mem: Memory::new(),
+            sys: MemorySystem::new(cfg),
+            txs: (0..cfg.n_cores)
+                .map(|_| {
+                    TxState::with_mode(
+                        cfg.htm.signature_bits,
+                        cfg.htm.signature_hashes,
+                        cfg.htm.perfect_signatures,
+                    )
+                })
+                .collect(),
+            vm,
+            tx_stats: vec![TxStats::default(); cfg.n_cores],
+            overflow: OverflowStats::default(),
+            commit_token_free: 0,
+            rngs: (0..cfg.n_cores).map(|c| StdRng::seed_from_u64(0xBAC0FF + c as u64)).collect(),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Is `core` currently inside a transaction?
+    pub fn in_tx(&self, core: CoreId) -> bool {
+        self.txs[core].depth > 0 && matches!(self.txs[core].status, TxStatus::Active)
+    }
+
+    /// Current nesting depth of `core`'s transaction.
+    pub fn depth(&self, core: CoreId) -> usize {
+        self.txs[core].depth
+    }
+
+    /// Close expired isolation windows. Called at the head of every
+    /// operation; correctness relies on the engine dispatching operations
+    /// in global time order.
+    fn settle(&mut self, now: Cycle) {
+        for t in &mut self.txs {
+            match t.status {
+                TxStatus::Aborting { until } if now >= until => t.clear_attempt(),
+                TxStatus::Committing { until } if now >= until => t.clear_dynamic(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Find a defender that conflicts with `requester`'s access to `line`.
+    /// Returns the lowest-numbered conflicting core.
+    fn find_conflict(&self, now: Cycle, requester: CoreId, line: LineAddr, is_write: bool) -> Option<CoreId> {
+        for (c, t) in self.txs.iter().enumerate() {
+            if c == requester || !t.isolation_live(now) {
+                continue;
+            }
+            // Active lazy transactions are invisible until they commit;
+            // aborting/committing windows always defend.
+            let defends = match t.status {
+                TxStatus::Active => !t.lazy,
+                TxStatus::Aborting { .. } | TxStatus::Committing { .. } => true,
+                TxStatus::Idle => false,
+            };
+            if !defends {
+                continue;
+            }
+            let hit = if is_write {
+                t.rsig_hit(line) || t.wsig_hit(line)
+            } else {
+                t.wsig_hit(line)
+            };
+            if hit {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// A store that acquires exclusive ownership of `line` dooms every
+    /// *lazy* active transaction that has the line in its read or write
+    /// set: lazy transactions hold no ownership and lose against eager
+    /// writers (DynTM's mixed-mode rule). Without this, a lazy transaction
+    /// could commit stale reads over an eagerly-committed update.
+    fn doom_lazy_conflictors(&mut self, now: Cycle, requester: CoreId, line: LineAddr) {
+        for c in 0..self.txs.len() {
+            if c == requester {
+                continue;
+            }
+            let t = &self.txs[c];
+            if t.lazy
+                && matches!(t.status, TxStatus::Active)
+                && t.isolation_live(now)
+                && (t.rsig_hit(line) || t.wsig_hit(line))
+            {
+                self.txs[c].doomed = true;
+            }
+        }
+    }
+
+    /// Record a NACK and evaluate the possible-cycle rule. Returns
+    /// `must_abort` for the requester.
+    fn note_nack(&mut self, requester: CoreId, nacker: CoreId, requester_in_tx: bool) -> bool {
+        self.tx_stats[requester].nacks_received += 1;
+        self.tx_stats[nacker].nacks_sent += 1;
+        if !requester_in_tx {
+            return false; // non-transactional requesters just stall
+        }
+        let req_ts = self.txs[requester].timestamp;
+        let nack_ts = self.txs[nacker].timestamp;
+        if req_ts < nack_ts {
+            // The defender NACKed an older transaction: potential cycle.
+            self.txs[nacker].possible_cycle = true;
+        }
+        let must_abort = nack_ts < req_ts && self.txs[requester].possible_cycle;
+        if must_abort {
+            self.tx_stats[requester].cycle_aborts += 1;
+        }
+        must_abort
+    }
+
+    /// Begin (or nest) a transaction. Returns the begin latency.
+    pub fn begin_tx(&mut self, now: Cycle, core: CoreId, site: TxSite) -> Cycle {
+        self.settle(now);
+        if self.txs[core].depth > 0 {
+            assert!(
+                self.txs[core].depth < self.cfg.htm.max_nest_depth,
+                "nesting depth limit exceeded"
+            );
+            self.txs[core].depth += 1;
+            if self.cfg.htm.partial_nesting
+                && !self.txs[core].lazy
+                && self.vm.supports_partial_abort()
+            {
+                // LogTM-Nested stacked frame: per-level signatures plus a
+                // version-manager watermark, enabling partial abort.
+                self.txs[core].push_frame();
+                let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+                return 2 + self.vm.begin_level(&mut env, core);
+            }
+            return 1; // flattened (subsumed) nesting
+        }
+        let lazy = self.vm.choose_mode(core, site);
+        let t = &mut self.txs[core];
+        debug_assert_eq!(t.status, TxStatus::Idle, "core {core} beginning while busy");
+        t.status = TxStatus::Active;
+        t.depth = 1;
+        t.site = site;
+        t.lazy = lazy;
+        t.doomed = false;
+        t.begin_time = now;
+        if t.timestamp == u64::MAX {
+            // Age is assigned once per dynamic transaction and kept across
+            // retries so the oldest eventually wins.
+            t.timestamp = (now << 8) | core as u64;
+        }
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        self.cfg.htm.checkpoint_cycles + self.vm.begin(&mut env, core, lazy)
+    }
+
+    /// Transactional load.
+    pub fn tx_load(&mut self, now: Cycle, core: CoreId, addr: Addr) -> Access {
+        self.settle(now);
+        debug_assert!(self.in_tx(core), "tx_load outside a transaction");
+        if self.txs[core].doomed {
+            return Access::MustAbort { latency: 1 };
+        }
+        let line = line_of(addr);
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let (target, res_lat) = self.vm.resolve_load(&mut env, core, addr, true);
+        let (value, latency) = match target {
+            LoadTarget::Value(v) => (v, res_lat + self.cfg.l1.latency),
+            LoadTarget::Mem(phys) => {
+                // Coherence and caching always key on the ORIGINAL address
+                // (SUV's "a load/(store) that misses on block B generates a
+                // GETS(B)/(GETM(B))"); only the functional data location is
+                // redirected.
+                if !self.sys.has_permission(core, addr, AccessKind::Load) {
+                    if let Some(nacker) = self.find_conflict(now, core, line, false) {
+                        let must_abort = self.note_nack(core, nacker, true);
+                        let latency =
+                            res_lat + self.sys.nack_latency(now + res_lat, core, line, nacker);
+                        return Access::Nacked { nacker, latency, must_abort };
+                    }
+                    let f = self.sys.fill(now + res_lat, core, addr, AccessKind::Load);
+                    if let Some(ev) = f.evicted {
+                        self.vm.on_eviction(core, &ev);
+                        if ev.speculative {
+                            self.txs[core].overflowed_l1 = true;
+                            self.overflow.speculative_evictions += 1;
+                        }
+                    }
+                    (self.mem.read_word(word_of(phys)), res_lat + f.latency)
+                } else {
+                    let hit = self.sys.access_hit(core, addr, AccessKind::Load);
+                    (self.mem.read_word(word_of(phys)), res_lat + hit)
+                }
+            }
+        };
+        self.txs[core].note_read(line);
+        self.tx_stats[core].tx_loads += 1;
+        Access::Done { value, latency }
+    }
+
+    /// Transactional store.
+    pub fn tx_store(&mut self, now: Cycle, core: CoreId, addr: Addr, value: u64) -> Access {
+        self.settle(now);
+        debug_assert!(self.in_tx(core), "tx_store outside a transaction");
+        if self.txs[core].doomed {
+            return Access::MustAbort { latency: 1 };
+        }
+        let line = line_of(addr);
+        // Eager conflict check before any bookkeeping, unless this
+        // transaction already owns the line (exact write-set check: a
+        // signature false positive must not skip the check). Lazy
+        // transactions defer all conflicts to commit.
+        let owned = self.txs[core].writes_contain(line);
+        if !self.txs[core].lazy && !owned {
+            if let Some(nacker) = self.find_conflict(now, core, line, true) {
+                let must_abort = self.note_nack(core, nacker, true);
+                let latency = self.sys.nack_latency(now, core, line, nacker);
+                return Access::Nacked { nacker, latency, must_abort };
+            }
+            self.doom_lazy_conflictors(now, core, line);
+        }
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let (target, vm_lat) = self.vm.prepare_store(&mut env, core, addr, value, true);
+        let lazy = self.txs[core].lazy;
+        let latency = match target {
+            StoreTarget::Buffered => vm_lat + self.cfg.l1.latency,
+            StoreTarget::Mem(phys) if lazy => {
+                // Lazy conflict detection: the store stays private until
+                // commit — no ownership request, no invalidations. With
+                // SUV backing the lazy mode, the functional write to the
+                // (redirected) location *is* the final data movement; the
+                // commit merely flips the entry.
+                self.mem.write_word(word_of(phys), value);
+                vm_lat + self.cfg.l1.latency
+            }
+            StoreTarget::Mem(phys) => {
+                // As with loads: GETM targets the original address; only
+                // the functional write lands at the (possibly redirected)
+                // location.
+                let lat = if self.sys.has_permission(core, addr, AccessKind::Store) {
+                    self.sys.access_hit(core, addr, AccessKind::Store)
+                } else {
+                    let f = self.sys.fill(now + vm_lat, core, addr, AccessKind::Store);
+                    if let Some(ev) = f.evicted {
+                        self.vm.on_eviction(core, &ev);
+                        if ev.speculative {
+                            self.txs[core].overflowed_l1 = true;
+                            self.overflow.speculative_evictions += 1;
+                        }
+                    }
+                    f.latency
+                };
+                self.mem.write_word(word_of(phys), value);
+                self.sys.mark_speculative(core, addr);
+                vm_lat + lat
+            }
+        };
+        self.txs[core].note_write(line);
+        self.tx_stats[core].tx_stores += 1;
+        Access::Done { value: 0, latency }
+    }
+
+    /// Commit the core's transaction (or pop one nesting level).
+    pub fn commit_tx(&mut self, now: Cycle, core: CoreId) -> CommitOutcome {
+        self.settle(now);
+        debug_assert!(self.in_tx(core), "commit outside a transaction");
+        if self.txs[core].depth > 1 {
+            self.txs[core].depth -= 1;
+            if !self.txs[core].frames.is_empty() {
+                self.txs[core].merge_top_frame();
+                let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+                let lat = 1 + self.vm.commit_level(&mut env, core);
+                return CommitOutcome::Committed { latency: lat, committing: 0 };
+            }
+            return CommitOutcome::Committed { latency: 1, committing: 0 };
+        }
+        if self.txs[core].doomed {
+            return CommitOutcome::MustAbort { latency: 1 };
+        }
+        if self.txs[core].lazy {
+            self.commit_lazy(now, core)
+        } else {
+            self.commit_eager(now, core)
+        }
+    }
+
+    fn commit_eager(&mut self, now: Cycle, core: CoreId) -> CommitOutcome {
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let lat = self.vm.commit(&mut env, core);
+        self.finish_tx(now, core, true, lat);
+        CommitOutcome::Committed { latency: lat, committing: 0 }
+    }
+
+    fn commit_lazy(&mut self, now: Cycle, core: CoreId) -> CommitOutcome {
+        // Arbitrate for the chip-wide commit token.
+        let start = now.max(self.commit_token_free) + self.cfg.dyntm.commit_arbitration_cycles;
+        let wait = start - now;
+        // Validate: the committer's write set against every live
+        // transaction. Eager transactions own their lines — the committer
+        // loses. Conflicting lazy transactions are doomed.
+        let write_set: Vec<LineAddr> = self.txs[core].all_write_lines();
+        let mut doom: Vec<CoreId> = Vec::new();
+        for (c, t) in self.txs.iter().enumerate() {
+            if c == core || !t.isolation_live(start) {
+                continue;
+            }
+            let conflicted = write_set.iter().any(|l| t.rsig_hit(*l) || t.wsig_hit(*l));
+            if !conflicted {
+                continue;
+            }
+            let defender_wins = match t.status {
+                TxStatus::Active => !t.lazy,
+                _ => true, // committing/aborting windows always win
+            };
+            if defender_wins {
+                self.tx_stats[core].lazy_validation_aborts += 1;
+                return CommitOutcome::MustAbort { latency: wait };
+            }
+            doom.push(c);
+        }
+        for c in doom {
+            self.txs[c].doomed = true;
+        }
+        // Merge (write-buffer drain, or an SUV flash when SUV backs the
+        // lazy mode), holding the token.
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now: start };
+        let merge = self.vm.commit(&mut env, core);
+        self.commit_token_free = start + merge;
+        let total = wait + merge;
+        self.finish_tx(now, core, true, total);
+        CommitOutcome::Committed { latency: total, committing: total }
+    }
+
+    /// Partially abort the innermost nested level (LogTM-Nested partial
+    /// abort). Returns the rollback duration, or `None` when no nested
+    /// frame exists (or the transaction is doomed) and a full abort is
+    /// required instead. The caller must pair this with the failed
+    /// `begin_tx` level.
+    pub fn abort_nested(&mut self, now: Cycle, core: CoreId) -> Option<Cycle> {
+        self.settle(now);
+        let t = &mut self.txs[core];
+        if t.depth <= 1 || t.frames.is_empty() || t.doomed {
+            return None;
+        }
+        t.depth -= 1;
+        t.drop_top_frame();
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        Some(self.vm.abort_level(&mut env, core) + 1)
+    }
+
+    /// Abort the core's transaction. Returns the abort (repair) duration;
+    /// the isolation window stays open that long.
+    pub fn abort_tx(&mut self, now: Cycle, core: CoreId) -> Cycle {
+        self.settle(now);
+        debug_assert!(self.txs[core].depth > 0, "abort outside a transaction");
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let lat = self.vm.abort(&mut env, core) + self.cfg.htm.restore_cycles;
+        self.finish_tx(now, core, false, lat);
+        lat
+    }
+
+    /// Common end-of-transaction bookkeeping.
+    fn finish_tx(&mut self, now: Cycle, core: CoreId, committed: bool, window: Cycle) {
+        // Overflow accounting (Table V).
+        if self.txs[core].overflowed_l1 {
+            self.overflow.l1_data_overflow_txns += 1;
+        }
+        let (rt_l1, rt_mem) = self.vm.take_rt_overflow(core);
+        if rt_l1 {
+            self.overflow.rt_l1_overflow_txns += 1;
+        }
+        if rt_mem {
+            self.overflow.rt_full_overflow_txns += 1;
+        }
+        let st = &mut self.tx_stats[core];
+        st.max_write_set = st.max_write_set.max(self.txs[core].all_write_lines().len() as u64);
+        if committed {
+            st.commits += 1;
+            st.committed_tx_cycles += now + window - self.txs[core].begin_time;
+            self.txs[core].status = TxStatus::Committing { until: now + window };
+        } else {
+            st.aborts += 1;
+            self.txs[core].attempts += 1;
+            self.txs[core].status = TxStatus::Aborting { until: now + window };
+        }
+        self.txs[core].depth = 0;
+        self.sys.clear_speculative(core);
+        let site = self.txs[core].site;
+        self.vm.tx_finished(core, site, committed);
+    }
+
+    /// Randomized exponential backoff after an abort, in cycles.
+    pub fn backoff_cycles(&mut self, core: CoreId) -> Cycle {
+        let b = self.cfg.htm.backoff;
+        let attempts = self.txs[core].attempts.min(16);
+        let window = (b.base * b.multiplier.pow(attempts.saturating_sub(1))).min(b.cap);
+        self.rngs[core].random_range(1..=window.max(1))
+    }
+
+    /// Non-transactional load (strong isolation: the same resolution and
+    /// conflict checks apply).
+    pub fn nontx_load(&mut self, now: Cycle, core: CoreId, addr: Addr) -> Access {
+        self.settle(now);
+        let line = line_of(addr);
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let (target, res_lat) = self.vm.resolve_load(&mut env, core, addr, false);
+        let phys = match target {
+            LoadTarget::Mem(p) => p,
+            LoadTarget::Value(v) => return Access::Done { value: v, latency: res_lat + 1 },
+        };
+        if !self.sys.has_permission(core, addr, AccessKind::Load) {
+            if let Some(nacker) = self.find_conflict(now, core, line, false) {
+                let must_abort = self.note_nack(core, nacker, false);
+                let latency = res_lat + self.sys.nack_latency(now + res_lat, core, line, nacker);
+                return Access::Nacked { nacker, latency, must_abort };
+            }
+            let f = self.sys.fill(now + res_lat, core, addr, AccessKind::Load);
+            if let Some(ev) = f.evicted {
+                self.vm.on_eviction(core, &ev);
+            }
+            Access::Done { value: self.mem.read_word(word_of(phys)), latency: res_lat + f.latency }
+        } else {
+            let hit = self.sys.access_hit(core, addr, AccessKind::Load);
+            Access::Done { value: self.mem.read_word(word_of(phys)), latency: res_lat + hit }
+        }
+    }
+
+    /// Non-transactional store.
+    pub fn nontx_store(&mut self, now: Cycle, core: CoreId, addr: Addr, value: u64) -> Access {
+        self.settle(now);
+        let line = line_of(addr);
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let (target, vm_lat) = self.vm.prepare_store(&mut env, core, addr, value, false);
+        let phys = match target {
+            StoreTarget::Mem(p) => p,
+            StoreTarget::Buffered => unreachable!("non-transactional stores are never buffered"),
+        };
+        if !self.sys.has_permission(core, addr, AccessKind::Store) {
+            if let Some(nacker) = self.find_conflict(now, core, line, true) {
+                let must_abort = self.note_nack(core, nacker, false);
+                let latency = vm_lat + self.sys.nack_latency(now + vm_lat, core, line, nacker);
+                return Access::Nacked { nacker, latency, must_abort };
+            }
+            self.doom_lazy_conflictors(now, core, line);
+            let f = self.sys.fill(now + vm_lat, core, addr, AccessKind::Store);
+            if let Some(ev) = f.evicted {
+                self.vm.on_eviction(core, &ev);
+            }
+            self.mem.write_word(word_of(phys), value);
+            Access::Done { value: 0, latency: vm_lat + f.latency }
+        } else {
+            let hit = self.sys.access_hit(core, addr, AccessKind::Store);
+            self.mem.write_word(word_of(phys), value);
+            Access::Done { value: 0, latency: vm_lat + hit }
+        }
+    }
+
+    /// Fast setup write used by workload initialization (functional only,
+    /// no timing, no isolation).
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.mem.write_word(word_of(addr), value);
+    }
+
+    /// Fast functional read for result verification (no timing). Resolves
+    /// committed redirections through the version manager.
+    pub fn peek(&mut self, addr: Addr) -> u64 {
+        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now: u64::MAX / 2 };
+        match self.vm.resolve_load(&mut env, 0, addr, false) {
+            (LoadTarget::Mem(p), _) => self.mem.read_word(word_of(p)),
+            (LoadTarget::Value(v), _) => v,
+        }
+    }
+
+    /// Aggregated transaction statistics.
+    pub fn tx_stats(&self) -> TxStats {
+        let mut s = TxStats::default();
+        for t in &self.tx_stats {
+            s.merge(t);
+        }
+        s
+    }
+
+    /// Overflow statistics (Table V).
+    pub fn overflow_stats(&self) -> OverflowStats {
+        self.overflow
+    }
+
+    /// Borrow the version manager (for scheme-specific statistics).
+    pub fn vm(&self) -> &dyn VersionManager {
+        self.vm.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logtm::LogTmSe;
+    use suv_types::MachineConfig;
+
+    fn machine() -> HtmMachine {
+        let cfg = MachineConfig::small_test();
+        HtmMachine::new(&cfg, Box::new(LogTmSe::new(cfg.n_cores, cfg.htm)))
+    }
+
+    fn must_done(a: Access) -> (u64, Cycle) {
+        match a {
+            Access::Done { value, latency } => (value, latency),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_tx_commit_flow() {
+        let mut m = machine();
+        m.poke(0x100, 5);
+        let mut now = 0;
+        now += m.begin_tx(now, 0, TxSite(1));
+        let (v, l) = must_done(m.tx_load(now, 0, 0x100));
+        assert_eq!(v, 5);
+        now += l;
+        let (_, l) = must_done(m.tx_store(now, 0, 0x100, 6));
+        now += l;
+        match m.commit_tx(now, 0) {
+            CommitOutcome::Committed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.peek(0x100), 6);
+        assert_eq!(m.tx_stats().commits, 1);
+    }
+
+    #[test]
+    fn abort_restores_memory() {
+        let mut m = machine();
+        m.poke(0x200, 10);
+        let mut now = 0;
+        now += m.begin_tx(now, 0, TxSite(1));
+        let (_, l) = must_done(m.tx_store(now, 0, 0x200, 99));
+        now += l;
+        assert_eq!(m.mem.read_word(0x200), 99, "eager update in place");
+        let d = m.abort_tx(now, 0);
+        assert!(d > 0);
+        assert_eq!(m.peek(0x200), 10, "undo log restored the old value");
+        assert_eq!(m.tx_stats().aborts, 1);
+    }
+
+    #[test]
+    fn conflicting_store_is_nacked() {
+        let mut m = machine();
+        m.poke(0x300, 1);
+        let mut t0 = 0;
+        t0 += m.begin_tx(t0, 0, TxSite(1));
+        let (_, l) = must_done(m.tx_load(t0, 0, 0x300));
+        t0 += l;
+        let _ = t0;
+        // Core 1 (younger) writes the line core 0 read.
+        let mut t1 = 50;
+        t1 += m.begin_tx(t1, 1, TxSite(2));
+        match m.tx_store(t1, 1, 0x300, 2) {
+            Access::Nacked { nacker, must_abort, latency } => {
+                assert_eq!(nacker, 0);
+                assert!(!must_abort, "no cycle yet");
+                assert!(latency > 0);
+            }
+            other => panic!("expected NACK, got {other:?}"),
+        }
+        assert_eq!(m.tx_stats().nacks_received, 1);
+    }
+
+    #[test]
+    fn read_read_is_no_conflict() {
+        let mut m = machine();
+        m.poke(0x340, 7);
+        let mut t0 = 0;
+        t0 += m.begin_tx(t0, 0, TxSite(1));
+        must_done(m.tx_load(t0, 0, 0x340));
+        let mut t1 = 30;
+        t1 += m.begin_tx(t1, 1, TxSite(2));
+        let (v, _) = must_done(m.tx_load(t1, 1, 0x340));
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn possible_cycle_rule_aborts_younger() {
+        let mut m = machine();
+        m.poke(0x400, 0); // line A
+        m.poke(0x440, 0); // line B
+        // T0 (older) reads A; T1 (younger) reads B.
+        let mut t0 = 0;
+        t0 += m.begin_tx(t0, 0, TxSite(1));
+        let (_, l) = must_done(m.tx_load(t0, 0, 0x400));
+        t0 += l;
+        let mut t1 = 20;
+        t1 += m.begin_tx(t1, 1, TxSite(2));
+        let (_, l) = must_done(m.tx_load(t1, 1, 0x440));
+        t1 += l;
+        // T0 stores to B -> NACKed by T1; T1 NACKed an older tx, so its
+        // possible_cycle flag is set.
+        match m.tx_store(t0, 0, 0x440, 1) {
+            Access::Nacked { nacker, must_abort, .. } => {
+                assert_eq!(nacker, 1);
+                assert!(!must_abort, "the older transaction never cycle-aborts");
+            }
+            other => panic!("{other:?}"),
+        }
+        // T1 stores to A -> NACKed by T0 (older) while flagged: must abort.
+        match m.tx_store(t1, 1, 0x400, 1) {
+            Access::Nacked { nacker, must_abort, .. } => {
+                assert_eq!(nacker, 0);
+                assert!(must_abort, "possible-cycle rule must fire");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.tx_stats().cycle_aborts, 1);
+    }
+
+    #[test]
+    fn isolation_window_defends_during_abort() {
+        let mut m = machine();
+        m.poke(0x500, 3);
+        let mut t0 = 0;
+        t0 += m.begin_tx(t0, 0, TxSite(1));
+        for i in 0..16u64 {
+            let (_, l) = must_done(m.tx_store(t0, 0, 0x500 + i * 64, i));
+            t0 += l;
+        }
+        let d = m.abort_tx(t0, 0);
+        assert!(d > 50, "LogTM-SE abort must be slow ({d})");
+        // During the abort window another core's access is still NACKed.
+        let mut t1 = t0 + d / 2;
+        t1 += m.begin_tx(t1, 1, TxSite(2));
+        match m.tx_load(t1, 1, 0x500) {
+            Access::Nacked { nacker, .. } => assert_eq!(nacker, 0),
+            other => panic!("expected NACK during repair window, got {other:?}"),
+        }
+        // After the window closes the same access succeeds and sees the
+        // restored value.
+        let t2 = t0 + d + 100;
+        let (v, _) = must_done(m.tx_load(t2, 1, 0x500));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn nontx_store_respects_strong_isolation() {
+        let mut m = machine();
+        m.poke(0x600, 1);
+        let mut t0 = 0;
+        t0 += m.begin_tx(t0, 0, TxSite(1));
+        must_done(m.tx_load(t0, 0, 0x600));
+        // Core 1, not in a transaction, tries to write the line.
+        match m.nontx_store(10, 1, 0x600, 9) {
+            Access::Nacked { nacker, must_abort, .. } => {
+                assert_eq!(nacker, 0);
+                assert!(!must_abort);
+            }
+            other => panic!("strong isolation violated: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_begin_commit_flattened() {
+        let mut m = machine();
+        let mut now = 0;
+        now += m.begin_tx(now, 0, TxSite(1));
+        now += m.begin_tx(now, 0, TxSite(2));
+        assert_eq!(m.depth(0), 2);
+        let (_, l) = must_done(m.tx_store(now, 0, 0x700, 1));
+        now += l;
+        match m.commit_tx(now, 0) {
+            CommitOutcome::Committed { latency, .. } => now += latency,
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.depth(0), 1, "inner commit pops one level");
+        assert!(m.in_tx(0));
+        match m.commit_tx(now, 0) {
+            CommitOutcome::Committed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.depth(0), 0);
+        assert_eq!(m.tx_stats().commits, 1, "only the outermost commit counts");
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts() {
+        let mut m = machine();
+        m.begin_tx(0, 0, TxSite(1));
+        m.abort_tx(10, 0);
+        let b1: Cycle = (0..32).map(|_| m.backoff_cycles(0)).max().unwrap();
+        // Simulate more failed attempts.
+        for i in 0..6 {
+            let t = 1000 * (i + 1);
+            m.begin_tx(t, 0, TxSite(1));
+            m.abort_tx(t + 10, 0);
+        }
+        let b7: Cycle = (0..32).map(|_| m.backoff_cycles(0)).max().unwrap();
+        assert!(b7 > b1, "backoff must grow ({b1} -> {b7})");
+        assert!(b7 <= m.config().htm.backoff.cap);
+    }
+
+    #[test]
+    fn timestamp_survives_retries() {
+        let mut m = machine();
+        m.begin_tx(100, 0, TxSite(1));
+        let ts1 = m.txs[0].timestamp;
+        m.abort_tx(110, 0);
+        m.begin_tx(500, 0, TxSite(1));
+        assert_eq!(m.txs[0].timestamp, ts1, "age kept across retries");
+        let now = 510;
+        match m.commit_tx(now, 0) {
+            CommitOutcome::Committed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // After the commit window closes, a fresh transaction gets a new age.
+        m.begin_tx(10_000, 0, TxSite(1));
+        assert_ne!(m.txs[0].timestamp, ts1);
+    }
+}
+
+#[cfg(test)]
+mod nesting_tests {
+    use super::*;
+    use crate::logtm::LogTmSe;
+    use suv_types::MachineConfig;
+
+    fn machine() -> HtmMachine {
+        let cfg = MachineConfig::small_test();
+        HtmMachine::new(&cfg, Box::new(LogTmSe::new(cfg.n_cores, cfg.htm)))
+    }
+
+    fn done(a: Access) -> (u64, Cycle) {
+        match a {
+            Access::Done { value, latency } => (value, latency),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_abort_keeps_outer_writes() {
+        let mut m = machine();
+        m.poke(0x100, 1);
+        m.poke(0x140, 2);
+        let mut t = 0;
+        t += m.begin_tx(t, 0, TxSite(1));
+        let (_, l) = done(m.tx_store(t, 0, 0x100, 10)); // outer write
+        t += l;
+        // Nested level writes a different line, then partially aborts.
+        t += m.begin_tx(t, 0, TxSite(2));
+        let (_, l) = done(m.tx_store(t, 0, 0x140, 20));
+        t += l;
+        let d = m.abort_nested(t, 0).expect("LogTM-SE supports partial abort");
+        t += d;
+        assert_eq!(m.depth(0), 1, "back at the outer level");
+        assert_eq!(m.mem.read_word(0x140), 2, "inner write rolled back");
+        assert_eq!(m.mem.read_word(0x100), 10, "outer write survives");
+        match m.commit_tx(t, 0) {
+            CommitOutcome::Committed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.peek(0x100), 10);
+        assert_eq!(m.peek(0x140), 2);
+    }
+
+    #[test]
+    fn partial_abort_restores_outer_speculative_value_on_shared_line() {
+        // Outer writes X=10, inner overwrites X=20, inner aborts: X must
+        // return to the OUTER speculative value 10, not the pre-tx 1.
+        let mut m = machine();
+        m.poke(0x200, 1);
+        let mut t = 0;
+        t += m.begin_tx(t, 0, TxSite(1));
+        let (_, l) = done(m.tx_store(t, 0, 0x200, 10));
+        t += l;
+        t += m.begin_tx(t, 0, TxSite(2));
+        let (_, l) = done(m.tx_store(t, 0, 0x200, 20));
+        t += l;
+        let d = m.abort_nested(t, 0).expect("partial abort");
+        t += d;
+        let (v, _) = done(m.tx_load(t, 0, 0x200));
+        assert_eq!(v, 10, "outer speculative value restored");
+        // And a full abort from here restores the pre-transaction value.
+        let d = m.abort_tx(t + 5, 0);
+        let _ = d;
+        assert_eq!(m.peek(0x200), 1);
+    }
+
+    #[test]
+    fn nested_commit_then_full_abort_unwinds_everything() {
+        let mut m = machine();
+        m.poke(0x300, 1);
+        m.poke(0x340, 2);
+        let mut t = 0;
+        t += m.begin_tx(t, 0, TxSite(1));
+        let (_, l) = done(m.tx_store(t, 0, 0x300, 10));
+        t += l;
+        t += m.begin_tx(t, 0, TxSite(2));
+        let (_, l) = done(m.tx_store(t, 0, 0x340, 20));
+        t += l;
+        match m.commit_tx(t, 0) {
+            CommitOutcome::Committed { latency, .. } => t += latency,
+            other => panic!("{other:?}"),
+        }
+        // Inner committed into the outer; outer aborts: both revert.
+        m.abort_tx(t, 0);
+        assert_eq!(m.peek(0x300), 1);
+        assert_eq!(m.peek(0x340), 2, "inner-committed write dies with the outer abort");
+    }
+
+    #[test]
+    fn inner_frame_sets_stop_defending_after_partial_abort() {
+        let mut m = machine();
+        let mut t = 0;
+        t += m.begin_tx(t, 0, TxSite(1));
+        t += m.begin_tx(t, 0, TxSite(2));
+        let (_, l) = done(m.tx_store(t, 0, 0x400, 7));
+        t += l;
+        let d = m.abort_nested(t, 0).expect("partial abort");
+        t += d;
+        // Another core can now write the line the aborted level touched.
+        let mut t1 = t + 5;
+        t1 += m.begin_tx(t1, 1, TxSite(3));
+        match m.tx_store(t1, 1, 0x400, 9) {
+            Access::Done { .. } => {}
+            other => panic!("aborted inner level still defends: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_nested_returns_none_at_outer_level() {
+        let mut m = machine();
+        let mut t = 0;
+        t += m.begin_tx(t, 0, TxSite(1));
+        assert!(m.abort_nested(t, 0).is_none(), "outermost level needs a full abort");
+    }
+}

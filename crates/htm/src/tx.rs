@@ -1,0 +1,304 @@
+//! Per-core transaction descriptors.
+
+use std::collections::HashSet;
+use suv_sig::Signature;
+use suv_types::{Cycle, LineAddr, TxSite};
+
+/// Lifecycle of a core's hardware transaction.
+///
+/// `Aborting` and `Committing` carry the end of the isolation window: until
+/// that time the transaction's signatures keep defending its read/write
+/// sets — this is the repair/merge pathology mechanism of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxStatus {
+    /// No transaction in flight.
+    #[default]
+    Idle,
+    /// Executing transactional work.
+    Active,
+    /// Rolling back; isolation held until the given cycle.
+    Aborting { until: Cycle },
+    /// Making updates visible; isolation held until the given cycle.
+    Committing { until: Cycle },
+}
+
+/// One nesting level's conflict-detection state (LogTM-Nested stacked
+/// frame). The outermost level lives directly in [`TxState`]; each nested
+/// level pushes a frame.
+#[derive(Debug)]
+pub struct NestFrame {
+    /// This level's read signature.
+    pub rsig: Signature,
+    /// This level's write signature.
+    pub wsig: Signature,
+    /// This level's exact write set.
+    pub write_set: HashSet<LineAddr>,
+    /// This level's exact read set.
+    pub read_set: HashSet<LineAddr>,
+}
+
+/// State of (at most) one transaction per core.
+#[derive(Debug)]
+pub struct TxState {
+    /// Lifecycle stage.
+    pub status: TxStatus,
+    /// Total order for conflict resolution: smaller = older. Assigned at
+    /// the *first* attempt of a dynamic transaction and retained across
+    /// retries so the oldest transaction eventually wins (LogTM rule).
+    pub timestamp: u64,
+    /// Static transaction site (for DynTM's predictor).
+    pub site: TxSite,
+    /// Running with lazy conflict detection (DynTM lazy mode)?
+    pub lazy: bool,
+    /// A committing lazy transaction decided this one must abort.
+    pub doomed: bool,
+    /// LogTM possible-cycle flag: set when this transaction NACKs an older
+    /// requester; if it is then NACKed itself by an older transaction, it
+    /// aborts to break a potential dependence cycle.
+    pub possible_cycle: bool,
+    /// Nesting depth (0 = not in a transaction).
+    pub depth: usize,
+    /// Read signature.
+    pub rsig: Signature,
+    /// Write signature.
+    pub wsig: Signature,
+    /// Exact write set (distinct lines) — used for lazy commit validation
+    /// and overflow statistics; the signatures remain the *detection*
+    /// mechanism.
+    pub write_set: HashSet<LineAddr>,
+    /// Distinct lines read (statistics only).
+    pub read_set: HashSet<LineAddr>,
+    /// Consecutive aborts of the current dynamic transaction (backoff).
+    pub attempts: u32,
+    /// Cycle at which the current attempt began.
+    pub begin_time: Cycle,
+    /// The current attempt speculatively wrote a line that was evicted
+    /// from the L1 (transactional data overflow; Table V).
+    pub overflowed_l1: bool,
+    /// Stacked frames for nested levels (empty when flattening or at
+    /// depth <= 1). `frames.len() == depth - 1` when partial-abort
+    /// nesting is active.
+    pub frames: Vec<NestFrame>,
+    /// Signature geometry, for allocating new frames.
+    sig_geom: (usize, usize, bool),
+}
+
+impl TxState {
+    /// Fresh descriptor with signatures of the given geometry.
+    pub fn new(sig_bits: usize, sig_hashes: usize) -> Self {
+        Self::with_mode(sig_bits, sig_hashes, false)
+    }
+
+    /// Fresh descriptor; `perfect` selects exact-set signatures (ablation).
+    pub fn with_mode(sig_bits: usize, sig_hashes: usize, perfect: bool) -> Self {
+        let make = if perfect { Signature::perfect } else { Signature::new };
+        TxState {
+            status: TxStatus::Idle,
+            timestamp: u64::MAX,
+            site: TxSite::ANON,
+            lazy: false,
+            doomed: false,
+            possible_cycle: false,
+            depth: 0,
+            rsig: make(sig_bits, sig_hashes),
+            wsig: make(sig_bits, sig_hashes),
+            write_set: HashSet::new(),
+            read_set: HashSet::new(),
+            attempts: 0,
+            begin_time: 0,
+            overflowed_l1: false,
+            frames: Vec::new(),
+            sig_geom: (sig_bits, sig_hashes, perfect),
+        }
+    }
+
+    fn make_sig(&self) -> Signature {
+        let (bits, k, perfect) = self.sig_geom;
+        if perfect {
+            Signature::perfect(bits, k)
+        } else {
+            Signature::new(bits, k)
+        }
+    }
+
+    /// Push a stacked frame for a nested level.
+    pub fn push_frame(&mut self) {
+        self.frames.push(NestFrame {
+            rsig: self.make_sig(),
+            wsig: self.make_sig(),
+            write_set: HashSet::new(),
+            read_set: HashSet::new(),
+        });
+    }
+
+    /// Pop the top frame, merging it into the level below (closed-nest
+    /// commit: the inner sets become part of the parent's).
+    pub fn merge_top_frame(&mut self) {
+        let f = self.frames.pop().expect("no frame to merge");
+        match self.frames.last_mut() {
+            Some(parent) => {
+                parent.rsig.union_with(&f.rsig);
+                parent.wsig.union_with(&f.wsig);
+                parent.write_set.extend(f.write_set);
+                parent.read_set.extend(f.read_set);
+            }
+            None => {
+                self.rsig.union_with(&f.rsig);
+                self.wsig.union_with(&f.wsig);
+                self.write_set.extend(f.write_set);
+                self.read_set.extend(f.read_set);
+            }
+        }
+    }
+
+    /// Drop the top frame (partial abort: the inner level's sets stop
+    /// defending).
+    pub fn drop_top_frame(&mut self) {
+        self.frames.pop().expect("no frame to drop");
+    }
+
+    /// Record a transactional read at the current level.
+    pub fn note_read(&mut self, line: LineAddr) {
+        match self.frames.last_mut() {
+            Some(f) => {
+                f.rsig.insert(line);
+                f.read_set.insert(line);
+            }
+            None => {
+                self.rsig.insert(line);
+                self.read_set.insert(line);
+            }
+        }
+    }
+
+    /// Record a transactional write at the current level.
+    pub fn note_write(&mut self, line: LineAddr) {
+        match self.frames.last_mut() {
+            Some(f) => {
+                f.wsig.insert(line);
+                f.write_set.insert(line);
+            }
+            None => {
+                self.wsig.insert(line);
+                self.write_set.insert(line);
+            }
+        }
+    }
+
+    /// Does any level's read signature cover this line?
+    pub fn rsig_hit(&self, line: LineAddr) -> bool {
+        self.rsig.contains(line) || self.frames.iter().any(|f| f.rsig.contains(line))
+    }
+
+    /// Does any level's write signature cover this line?
+    pub fn wsig_hit(&self, line: LineAddr) -> bool {
+        self.wsig.contains(line) || self.frames.iter().any(|f| f.wsig.contains(line))
+    }
+
+    /// Exact: has any level of this transaction written this line?
+    pub fn writes_contain(&self, line: LineAddr) -> bool {
+        self.write_set.contains(&line) || self.frames.iter().any(|f| f.write_set.contains(&line))
+    }
+
+    /// All distinct written lines across levels (lazy commit validation,
+    /// statistics).
+    pub fn all_write_lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<LineAddr> = self.write_set.iter().copied().collect();
+        for f in &self.frames {
+            v.extend(f.write_set.iter().copied());
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Is the transaction currently defending its sets at time `now`?
+    /// (Active always; Aborting/Committing until the window closes.)
+    pub fn isolation_live(&self, now: Cycle) -> bool {
+        match self.status {
+            TxStatus::Idle => false,
+            TxStatus::Active => true,
+            TxStatus::Aborting { until } | TxStatus::Committing { until } => now < until,
+        }
+    }
+
+    /// Reset per-attempt state (after the isolation window closes).
+    pub fn clear_attempt(&mut self) {
+        self.status = TxStatus::Idle;
+        self.lazy = false;
+        self.doomed = false;
+        self.possible_cycle = false;
+        self.depth = 0;
+        self.rsig.clear();
+        self.wsig.clear();
+        self.write_set.clear();
+        self.read_set.clear();
+        self.overflowed_l1 = false;
+        self.frames.clear();
+    }
+
+    /// Reset everything including retry bookkeeping (after a commit).
+    pub fn clear_dynamic(&mut self) {
+        self.clear_attempt();
+        self.attempts = 0;
+        self.timestamp = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx() -> TxState {
+        TxState::new(256, 2)
+    }
+
+    #[test]
+    fn fresh_state_idle() {
+        let t = tx();
+        assert_eq!(t.status, TxStatus::Idle);
+        assert!(!t.isolation_live(0));
+        assert_eq!(t.depth, 0);
+    }
+
+    #[test]
+    fn isolation_window_semantics() {
+        let mut t = tx();
+        t.status = TxStatus::Active;
+        assert!(t.isolation_live(123));
+        t.status = TxStatus::Aborting { until: 100 };
+        assert!(t.isolation_live(99));
+        assert!(!t.isolation_live(100));
+        t.status = TxStatus::Committing { until: 50 };
+        assert!(t.isolation_live(49));
+        assert!(!t.isolation_live(51));
+    }
+
+    #[test]
+    fn clear_attempt_keeps_retry_state() {
+        let mut t = tx();
+        t.status = TxStatus::Active;
+        t.attempts = 3;
+        t.timestamp = 42;
+        t.wsig.insert(0x40);
+        t.write_set.insert(0x40);
+        t.possible_cycle = true;
+        t.clear_attempt();
+        assert_eq!(t.status, TxStatus::Idle);
+        assert!(t.wsig.is_clear());
+        assert!(t.write_set.is_empty());
+        assert!(!t.possible_cycle);
+        assert_eq!(t.attempts, 3, "retry count survives an attempt");
+        assert_eq!(t.timestamp, 42, "age survives an attempt (LogTM rule)");
+    }
+
+    #[test]
+    fn clear_dynamic_resets_everything() {
+        let mut t = tx();
+        t.attempts = 5;
+        t.timestamp = 7;
+        t.clear_dynamic();
+        assert_eq!(t.attempts, 0);
+        assert_eq!(t.timestamp, u64::MAX);
+    }
+}

@@ -1,0 +1,212 @@
+//! The version-manager interface.
+//!
+//! A [`VersionManager`] decides *where* transactional data lives and *what
+//! it costs* to get there: it resolves load/store targets (identity for
+//! in-place schemes, pool addresses for SUV, buffer hits for lazy schemes),
+//! performs its bookkeeping (undo logging, redirect-entry management, write
+//! buffering) against the functional memory, and implements commit/abort.
+//!
+//! Conflict detection, signatures, NACK policy and statistics plumbing are
+//! *not* the version manager's business — the
+//! [`HtmMachine`](crate::machine::HtmMachine) handles those uniformly so
+//! the schemes differ only in the dimension the paper studies.
+
+use suv_coherence::{L1Evict, MemorySystem};
+use suv_mem::Memory;
+use suv_types::{Addr, CoreId, Cycle, RedirectStats, SchemeKind, TxSite};
+
+/// Mutable view of the machine a version manager operates through.
+pub struct VmEnv<'a> {
+    /// Functional memory (real data values).
+    pub mem: &'a mut Memory,
+    /// Timing model (caches, directory, NoC, memory banks).
+    pub sys: &'a mut MemorySystem,
+    /// Current simulated time of the acting core.
+    pub now: Cycle,
+}
+
+/// Where a load's data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadTarget {
+    /// Read memory at this (possibly redirected) word address. This is the
+    /// *functional* location only: the machine charges coherence and
+    /// caching on the original address (SUV issues GETS/GETM on the
+    /// original block and merely lands the data elsewhere).
+    Mem(Addr),
+    /// The value comes straight from a private buffer (lazy write buffer
+    /// hit); only an L1-latency charge applies.
+    Value(u64),
+}
+
+/// Where a store's data goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreTarget {
+    /// Write memory at this (possibly redirected) word address — the
+    /// functional location only; coherence is charged on the original
+    /// address (see [`LoadTarget::Mem`]).
+    Mem(Addr),
+    /// The version manager consumed the value into a private buffer; the
+    /// machine charges only an L1 access and skips the memory write.
+    Buffered,
+}
+
+/// A pluggable version-management scheme.
+///
+/// One instance manages *all* cores (SUV's second-level redirect table is
+/// shared chip-wide), with per-core internal state keyed by `CoreId`.
+pub trait VersionManager: Send {
+    /// Which scheme this is (for reporting).
+    fn kind(&self) -> SchemeKind;
+
+    /// Decide the execution mode for a transaction about to begin at
+    /// `site`. `true` = lazy conflict detection (DynTM); the default is
+    /// eager for every non-DynTM scheme.
+    fn choose_mode(&mut self, _core: CoreId, _site: TxSite) -> bool {
+        false
+    }
+
+    /// Outermost transaction begin. Returns extra begin latency on top of
+    /// the framework's checkpoint cost.
+    fn begin(&mut self, env: &mut VmEnv, core: CoreId, lazy: bool) -> Cycle;
+
+    /// Resolve the target of a load of `addr` and return any extra
+    /// resolution latency (e.g. SUV redirect-table lookups). Called for
+    /// both transactional (`in_tx`) and non-transactional accesses (strong
+    /// isolation puts the lookup on every path).
+    fn resolve_load(
+        &mut self,
+        env: &mut VmEnv,
+        core: CoreId,
+        addr: Addr,
+        in_tx: bool,
+    ) -> (LoadTarget, Cycle);
+
+    /// Perform version-management bookkeeping for a store of `value` to
+    /// `addr` and return the target plus extra latency. For transactional
+    /// stores this is where undo logging / redirect-entry insertion / write
+    /// buffering happens; the machine performs the actual functional write
+    /// for `StoreTarget::Mem` targets *after* this returns.
+    fn prepare_store(
+        &mut self,
+        env: &mut VmEnv,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        in_tx: bool,
+    ) -> (StoreTarget, Cycle);
+
+    /// Commit the core's transaction: make its updates globally visible
+    /// (for lazy schemes this is the merge). Returns the commit duration;
+    /// the machine keeps the isolation window open for that long.
+    fn commit(&mut self, env: &mut VmEnv, core: CoreId) -> Cycle;
+
+    /// Abort the core's transaction: restore pre-transactional state.
+    /// Returns the abort duration (the *repair* time); the machine keeps
+    /// the isolation window open for that long.
+    fn abort(&mut self, env: &mut VmEnv, core: CoreId) -> Cycle;
+
+    /// Notification that a fill on behalf of `core` evicted an L1 line.
+    /// FasTM uses the speculative mark to detect overflow/degeneration.
+    fn on_eviction(&mut self, _core: CoreId, _ev: &L1Evict) {}
+
+    /// Report and reset the per-transaction redirect-table overflow flags:
+    /// `(overflowed first-level table, overflowed into memory)`. Called by
+    /// the machine when a transaction ends.
+    fn take_rt_overflow(&mut self, _core: CoreId) -> (bool, bool) {
+        (false, false)
+    }
+
+    /// Does this version manager support per-level rollback (closed
+    /// nesting with partial abort)? When `false`, the machine flattens
+    /// nested transactions into the outermost one.
+    fn supports_partial_abort(&self) -> bool {
+        false
+    }
+
+    /// A nested level begins: push a rollback watermark. Returns extra
+    /// latency (the stacked-frame save).
+    fn begin_level(&mut self, _env: &mut VmEnv, _core: CoreId) -> Cycle {
+        0
+    }
+
+    /// The innermost nested level commits: merge its tracking into the
+    /// parent level. Returns extra latency.
+    fn commit_level(&mut self, _env: &mut VmEnv, _core: CoreId) -> Cycle {
+        0
+    }
+
+    /// Partially abort the innermost nested level: restore only the data
+    /// that level wrote. Returns the rollback duration.
+    fn abort_level(&mut self, _env: &mut VmEnv, _core: CoreId) -> Cycle {
+        unreachable!("abort_level called on a VM without partial-abort support")
+    }
+
+    /// Predictor feedback (DynTM): the transaction at `site` finished.
+    fn tx_finished(&mut self, _core: CoreId, _site: TxSite, _committed: bool) {}
+
+    /// Redirect-table statistics (SUV; zero elsewhere).
+    fn redirect_stats(&self) -> RedirectStats {
+        RedirectStats::default()
+    }
+
+    /// Number of transactions this VM ran in lazy mode (DynTM).
+    fn lazy_tx_count(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suv_types::MachineConfig;
+
+    /// A trivial in-place VM used to exercise the trait's defaults.
+    struct Nop;
+    impl VersionManager for Nop {
+        fn kind(&self) -> SchemeKind {
+            SchemeKind::LogTmSe
+        }
+        fn begin(&mut self, _: &mut VmEnv, _: CoreId, _: bool) -> Cycle {
+            0
+        }
+        fn resolve_load(
+            &mut self,
+            _: &mut VmEnv,
+            _: CoreId,
+            addr: Addr,
+            _: bool,
+        ) -> (LoadTarget, Cycle) {
+            (LoadTarget::Mem(addr), 0)
+        }
+        fn prepare_store(
+            &mut self,
+            _: &mut VmEnv,
+            _: CoreId,
+            addr: Addr,
+            _: u64,
+            _: bool,
+        ) -> (StoreTarget, Cycle) {
+            (StoreTarget::Mem(addr), 0)
+        }
+        fn commit(&mut self, _: &mut VmEnv, _: CoreId) -> Cycle {
+            0
+        }
+        fn abort(&mut self, _: &mut VmEnv, _: CoreId) -> Cycle {
+            0
+        }
+    }
+
+    #[test]
+    fn trait_defaults() {
+        let mut vm = Nop;
+        assert!(!vm.choose_mode(0, TxSite(1)));
+        assert_eq!(vm.take_rt_overflow(0), (false, false));
+        assert_eq!(vm.redirect_stats(), RedirectStats::default());
+        assert_eq!(vm.lazy_tx_count(), 0);
+        let mut mem = Memory::new();
+        let mut sys = MemorySystem::new(&MachineConfig::small_test());
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        assert_eq!(vm.begin(&mut env, 0, false), 0);
+        assert_eq!(vm.resolve_load(&mut env, 0, 0x40, true), (LoadTarget::Mem(0x40), 0));
+    }
+}

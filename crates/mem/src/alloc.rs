@@ -1,0 +1,228 @@
+//! Allocators over the simulated address space.
+//!
+//! * [`BumpAllocator`] — the workload heap allocator (no free; STAMP kernels
+//!   allocate during setup and, modestly, inside transactions).
+//! * [`PoolAllocator`] — SUV's "preserved memory pool": allocates
+//!   line-sized redirect slots, page by page, mirroring the paper's
+//!   "automatically allocates a page in the preserved redirect pool" with a
+//!   redirect-entry pointer to the next available slot. Slots are recycled
+//!   through a free list when redirect entries are deleted (the
+//!   redirect-back optimization).
+
+use crate::layout::Region;
+use suv_types::{Addr, LINE_BYTES, PAGE_BYTES};
+
+/// Simple monotonic allocator over a region.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    region: Region,
+    next: Addr,
+}
+
+impl BumpAllocator {
+    /// Allocator covering `region`, starting at its base.
+    pub fn new(region: Region) -> Self {
+        BumpAllocator { region, next: region.base }
+    }
+
+    /// Allocate `bytes` with the given power-of-two alignment.
+    ///
+    /// # Panics
+    /// Panics when the region is exhausted (simulated OOM) or alignment is
+    /// not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        let end = base.checked_add(bytes).expect("address overflow");
+        assert!(end <= self.region.end, "simulated region exhausted");
+        self.next = end;
+        base
+    }
+
+    /// Allocate a line-aligned block of whole lines covering `bytes`.
+    pub fn alloc_lines(&mut self, bytes: u64) -> Addr {
+        let rounded = (bytes + LINE_BYTES - 1) & !(LINE_BYTES - 1);
+        self.alloc(rounded.max(LINE_BYTES), LINE_BYTES)
+    }
+
+    /// Allocate `n` 64-bit words, 8-byte aligned.
+    pub fn alloc_words(&mut self, n: u64) -> Addr {
+        self.alloc(n * 8, 8)
+    }
+
+    /// Bytes consumed so far.
+    pub fn used(&self) -> u64 {
+        self.next - self.region.base
+    }
+
+    /// The region this allocator manages.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+/// SUV redirect-pool allocator: hands out line-sized slots from
+/// demand-allocated pages and recycles freed slots.
+#[derive(Debug, Clone)]
+pub struct PoolAllocator {
+    region: Region,
+    /// Next never-used slot (the paper's "redirect-entry pointer").
+    next_slot: Addr,
+    /// End of the currently open page; a new page is "allocated" when the
+    /// pointer crosses it.
+    page_end: Addr,
+    /// Recycled slots from deleted redirect entries.
+    free: Vec<Addr>,
+    /// Pages allocated so far.
+    pages: u64,
+}
+
+impl PoolAllocator {
+    /// Pool allocator over `region`.
+    pub fn new(region: Region) -> Self {
+        PoolAllocator { region, next_slot: region.base, page_end: region.base, free: Vec::new(), pages: 0 }
+    }
+
+    /// Allocate one line-sized redirect slot. Returns the slot's line
+    /// address and whether a fresh page had to be allocated for it (the
+    /// caller charges the page-allocation cost).
+    pub fn alloc_slot(&mut self) -> (Addr, bool) {
+        if let Some(a) = self.free.pop() {
+            return (a, false);
+        }
+        let mut new_page = false;
+        if self.next_slot >= self.page_end {
+            assert!(self.next_slot + PAGE_BYTES <= self.region.end, "redirect pool exhausted");
+            self.page_end = self.next_slot + PAGE_BYTES;
+            self.pages += 1;
+            new_page = true;
+        }
+        let a = self.next_slot;
+        self.next_slot += LINE_BYTES;
+        (a, new_page)
+    }
+
+    /// Return a slot to the pool (redirect entry deleted).
+    pub fn free_slot(&mut self, a: Addr) {
+        debug_assert!(self.region.contains(a), "freeing a slot outside the pool");
+        debug_assert_eq!(a % LINE_BYTES, 0, "pool slots are line-aligned");
+        self.free.push(a);
+    }
+
+    /// Pages allocated so far.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Slots currently on the free list.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Region, HEAP_BASE};
+
+    #[test]
+    fn bump_alignment() {
+        let mut a = BumpAllocator::new(Region::new(0x1000, 0x1000));
+        let p1 = a.alloc(3, 1);
+        let p2 = a.alloc(8, 8);
+        assert_eq!(p1, 0x1000);
+        assert_eq!(p2, 0x1008);
+        let p3 = a.alloc_lines(65);
+        assert_eq!(p3 % LINE_BYTES, 0);
+        assert_eq!(a.used() % 8, 0);
+    }
+
+    #[test]
+    fn bump_words() {
+        let mut a = BumpAllocator::new(Region::heap());
+        let p = a.alloc_words(10);
+        assert_eq!(p, HEAP_BASE);
+        let q = a.alloc_words(1);
+        assert_eq!(q, HEAP_BASE + 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn bump_oom_panics() {
+        let mut a = BumpAllocator::new(Region::new(0x1000, 0x10));
+        a.alloc(0x20, 8);
+    }
+
+    #[test]
+    fn pool_pages_and_slots() {
+        let mut p = PoolAllocator::new(Region::new(0x8000_0000, 0x10_0000));
+        let (s0, fresh0) = p.alloc_slot();
+        assert!(fresh0, "first slot opens a page");
+        assert_eq!(s0, 0x8000_0000);
+        // The rest of the page needs no new page.
+        let per_page = (PAGE_BYTES / LINE_BYTES) as usize;
+        for _ in 1..per_page {
+            let (_, fresh) = p.alloc_slot();
+            assert!(!fresh);
+        }
+        let (_, fresh) = p.alloc_slot();
+        assert!(fresh, "page boundary crossed");
+        assert_eq!(p.pages(), 2);
+    }
+
+    #[test]
+    fn pool_recycles_freed_slots() {
+        let mut p = PoolAllocator::new(Region::pool());
+        let (s0, _) = p.alloc_slot();
+        let (s1, _) = p.alloc_slot();
+        p.free_slot(s0);
+        assert_eq!(p.free_slots(), 1);
+        let (s2, fresh) = p.alloc_slot();
+        assert_eq!(s2, s0);
+        assert!(!fresh);
+        assert_ne!(s1, s2);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::layout::Region;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Bump allocations never overlap and respect alignment.
+        #[test]
+        fn bump_never_overlaps(reqs in proptest::collection::vec((1u64..128, 0u32..4), 1..100)) {
+            let mut a = BumpAllocator::new(Region::heap());
+            let mut prev_end = 0u64;
+            for (bytes, align_log) in reqs {
+                let align = 1u64 << align_log;
+                let p = a.alloc(bytes, align);
+                prop_assert_eq!(p % align, 0);
+                prop_assert!(p >= prev_end);
+                prev_end = p + bytes;
+            }
+        }
+
+        /// Pool slots are unique while live, line-aligned, and inside the pool.
+        #[test]
+        fn pool_slots_unique(n in 1usize..300, free_every in 2usize..7) {
+            let mut p = PoolAllocator::new(Region::pool());
+            let mut live = std::collections::HashSet::new();
+            let mut allocated = Vec::new();
+            for i in 0..n {
+                let (s, _) = p.alloc_slot();
+                prop_assert_eq!(s % LINE_BYTES, 0);
+                prop_assert!(Region::pool().contains(s));
+                prop_assert!(live.insert(s), "slot {s:#x} double-allocated");
+                allocated.push(s);
+                if i % free_every == 0 {
+                    let victim = allocated.swap_remove(allocated.len() / 2);
+                    live.remove(&victim);
+                    p.free_slot(victim);
+                }
+            }
+        }
+    }
+}

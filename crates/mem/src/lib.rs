@@ -1,0 +1,153 @@
+//! Simulated physical memory.
+//!
+//! The functional half of the simulator: a sparse store of 64-bit words,
+//! plus the address-space layout and the allocators used by workloads, by
+//! the per-thread undo logs, and by SUV's reserved redirect pool.
+//!
+//! Timing is *not* modeled here — the coherence crate charges cycles; this
+//! crate only guarantees that every scheme's data manipulation is real, so
+//! tests can assert value correctness across commits and aborts.
+
+pub mod alloc;
+pub mod layout;
+
+pub use alloc::{BumpAllocator, PoolAllocator};
+pub use layout::{Region, GLOBAL_BASE, HEAP_BASE, LOG_BASE, LOG_STRIDE, POOL_BASE};
+
+use std::collections::HashMap;
+use suv_types::{line_of, word_index_in_line, Addr, LineAddr, WORDS_PER_LINE};
+
+/// Contents of one cache line.
+pub type LineData = [u64; WORDS_PER_LINE];
+
+/// Sparse simulated physical memory. Untouched memory reads as zero.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    lines: HashMap<LineAddr, LineData>,
+}
+
+impl Memory {
+    /// Empty memory (all zeros).
+    pub fn new() -> Self {
+        Memory { lines: HashMap::new() }
+    }
+
+    /// Read the 64-bit word containing `addr` (which is word-aligned by
+    /// masking).
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        match self.lines.get(&line_of(addr)) {
+            Some(line) => line[word_index_in_line(addr)],
+            None => 0,
+        }
+    }
+
+    /// Write the 64-bit word containing `addr`.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        let line = self.lines.entry(line_of(addr)).or_insert([0; WORDS_PER_LINE]);
+        line[word_index_in_line(addr)] = value;
+    }
+
+    /// Read a whole line (zeros if untouched).
+    pub fn read_line(&self, addr: Addr) -> LineData {
+        self.lines.get(&line_of(addr)).copied().unwrap_or([0; WORDS_PER_LINE])
+    }
+
+    /// Overwrite a whole line.
+    pub fn write_line(&mut self, addr: Addr, data: LineData) {
+        self.lines.insert(line_of(addr), data);
+    }
+
+    /// Number of lines ever written (footprint proxy).
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read_word(0x1234_5678), 0);
+        assert_eq!(m.read_line(0x40), [0; WORDS_PER_LINE]);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Memory::new();
+        m.write_word(0x100, 42);
+        m.write_word(0x108, 43);
+        assert_eq!(m.read_word(0x100), 42);
+        assert_eq!(m.read_word(0x108), 43);
+        // Unaligned address maps to its containing word.
+        assert_eq!(m.read_word(0x103), 42);
+    }
+
+    #[test]
+    fn words_in_same_line_are_independent() {
+        let mut m = Memory::new();
+        for i in 0..WORDS_PER_LINE as u64 {
+            m.write_word(0x200 + i * 8, i + 1);
+        }
+        let line = m.read_line(0x200);
+        assert_eq!(line, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = Memory::new();
+        let data = [9, 8, 7, 6, 5, 4, 3, 2];
+        m.write_line(0x300, data);
+        assert_eq!(m.read_line(0x300), data);
+        assert_eq!(m.read_word(0x318), 6);
+        assert_eq!(m.touched_lines(), 1);
+    }
+
+    #[test]
+    fn line_write_does_not_leak_into_neighbors() {
+        let mut m = Memory::new();
+        m.write_word(0x3c0, 111); // line before
+        m.write_line(0x400, [1; WORDS_PER_LINE]);
+        m.write_word(0x440, 222); // line after
+        assert_eq!(m.read_word(0x3c0), 111);
+        assert_eq!(m.read_word(0x440), 222);
+        assert_eq!(m.read_word(0x438), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Last write to a word wins, regardless of the write order of
+        /// other words.
+        #[test]
+        fn last_write_wins(ops in proptest::collection::vec((0u64..0x1_0000, any::<u64>()), 1..200)) {
+            let mut m = Memory::new();
+            let mut model = std::collections::HashMap::new();
+            for (a, v) in &ops {
+                let w = a & !7;
+                m.write_word(w, *v);
+                model.insert(w, *v);
+            }
+            for (w, v) in model {
+                prop_assert_eq!(m.read_word(w), v);
+            }
+        }
+
+        /// Line reads agree with word reads.
+        #[test]
+        fn line_and_word_views_agree(base in (0u64..0x1000).prop_map(|x| x * 64),
+                                     vals in proptest::array::uniform8(any::<u64>())) {
+            let mut m = Memory::new();
+            for (i, v) in vals.iter().enumerate() {
+                m.write_word(base + i as u64 * 8, *v);
+            }
+            prop_assert_eq!(m.read_line(base), vals);
+        }
+    }
+}

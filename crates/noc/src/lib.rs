@@ -1,0 +1,266 @@
+//! Mesh interconnect timing model.
+//!
+//! The paper's CMP interconnects 16 cores "in a mesh topology via 64-byte
+//! links and adaptive routing" with a 2-cycle wire latency and 1-cycle route
+//! latency per hop (Table III). We model:
+//!
+//! * deterministic dimension-ordered (XY) minimal routing — adaptive routing
+//!   in an un-congested mesh follows a minimal path, so latency is the same;
+//! * per-hop latency `wire + route`;
+//! * an optional per-link occupancy model: each directed link remembers when
+//!   it is next free; a message arriving earlier queues, which adds
+//!   deterministic contention delay.
+//!
+//! Endpoints are mesh nodes. Cores occupy nodes `0..n_cores`; the shared L2
+//! is banked by address across all nodes; memory controllers sit at the mesh
+//! corners (4 in the paper).
+
+use std::collections::HashMap;
+use suv_types::{Cycle, MachineConfig};
+
+/// A node position in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    pub x: usize,
+    pub y: usize,
+}
+
+/// A directed link between adjacent mesh nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Link {
+    from: Node,
+    to: Node,
+}
+
+/// Mesh interconnect.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    side: usize,
+    wire: Cycle,
+    route: Cycle,
+    model_contention: bool,
+    /// Per-link time at which the link becomes free.
+    busy_until: HashMap<Link, Cycle>,
+    /// Total queuing cycles accumulated (stats).
+    contention_cycles: Cycle,
+    /// Messages routed (stats).
+    messages: u64,
+}
+
+impl Mesh {
+    /// Build the mesh from the machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Mesh {
+            side: cfg.mesh_side(),
+            wire: cfg.noc_wire_latency,
+            route: cfg.noc_route_latency,
+            model_contention: cfg.noc_contention,
+            busy_until: HashMap::new(),
+            contention_cycles: 0,
+            messages: 0,
+        }
+    }
+
+    /// Mesh side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Node of core `c` (row-major placement).
+    pub fn core_node(&self, c: usize) -> Node {
+        Node { x: c % self.side, y: c / self.side }
+    }
+
+    /// Node of the L2 bank holding line `line_addr`: banks are interleaved
+    /// across all mesh nodes by line address.
+    pub fn l2_bank_node(&self, line_addr: u64) -> Node {
+        let banks = self.side * self.side;
+        let b = (line_addr >> 6) as usize % banks;
+        Node { x: b % self.side, y: b / self.side }
+    }
+
+    /// Node of the memory controller serving `bank` (placed at corners,
+    /// then along the top edge if more than 4 banks are configured).
+    pub fn mem_ctrl_node(&self, bank: usize) -> Node {
+        let m = self.side.saturating_sub(1);
+        match bank % 4 {
+            0 => Node { x: 0, y: 0 },
+            1 => Node { x: m, y: 0 },
+            2 => Node { x: 0, y: m },
+            _ => Node { x: m, y: m },
+        }
+    }
+
+    /// Manhattan hop count between nodes.
+    pub fn hops(&self, a: Node, b: Node) -> usize {
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// Un-contended latency of a message from `a` to `b`.
+    pub fn base_latency(&self, a: Node, b: Node) -> Cycle {
+        self.hops(a, b) as Cycle * (self.wire + self.route)
+    }
+
+    /// Route a message at time `now`; returns total network latency
+    /// (including any queuing when contention modeling is on).
+    pub fn route(&mut self, now: Cycle, a: Node, b: Node) -> Cycle {
+        self.messages += 1;
+        if !self.model_contention {
+            return self.base_latency(a, b);
+        }
+        // XY routing: walk X first, then Y, reserving each link.
+        let mut t = now;
+        let mut cur = a;
+        while cur != b {
+            let next = if cur.x != b.x {
+                Node { x: if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
+            } else {
+                Node { x: cur.x, y: if b.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
+            };
+            let link = Link { from: cur, to: next };
+            let free = self.busy_until.get(&link).copied().unwrap_or(0);
+            if free > t {
+                self.contention_cycles += free - t;
+                t = free;
+            }
+            // Link is occupied for the wire time of this flit.
+            self.busy_until.insert(link, t + self.wire);
+            t += self.wire + self.route;
+            cur = next;
+        }
+        t - now
+    }
+
+    /// Round-trip latency estimate between a core and the L2 bank of a line.
+    pub fn core_to_bank(&mut self, now: Cycle, core: usize, line_addr: u64) -> Cycle {
+        let a = self.core_node(core);
+        let b = self.l2_bank_node(line_addr);
+        self.route(now, a, b)
+    }
+
+    /// Total queuing delay accumulated so far.
+    pub fn contention_cycles(&self) -> Cycle {
+        self.contention_cycles
+    }
+
+    /// Messages routed so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suv_types::MachineConfig;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&MachineConfig::default())
+    }
+
+    #[test]
+    fn sixteen_cores_form_4x4() {
+        let m = mesh();
+        assert_eq!(m.side(), 4);
+        assert_eq!(m.core_node(0), Node { x: 0, y: 0 });
+        assert_eq!(m.core_node(5), Node { x: 1, y: 1 });
+        assert_eq!(m.core_node(15), Node { x: 3, y: 3 });
+    }
+
+    #[test]
+    fn hop_latency_matches_table3() {
+        let m = mesh();
+        // Opposite corners of a 4x4 mesh: 6 hops, 3 cycles each.
+        let lat = m.base_latency(Node { x: 0, y: 0 }, Node { x: 3, y: 3 });
+        assert_eq!(lat, 6 * 3);
+        // Self-messages are free.
+        assert_eq!(m.base_latency(Node { x: 1, y: 2 }, Node { x: 1, y: 2 }), 0);
+    }
+
+    #[test]
+    fn banks_cover_all_nodes() {
+        let m = mesh();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16u64 {
+            seen.insert(m.l2_bank_node(i * 64));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn memory_controllers_at_corners() {
+        let m = mesh();
+        assert_eq!(m.mem_ctrl_node(0), Node { x: 0, y: 0 });
+        assert_eq!(m.mem_ctrl_node(1), Node { x: 3, y: 0 });
+        assert_eq!(m.mem_ctrl_node(2), Node { x: 0, y: 3 });
+        assert_eq!(m.mem_ctrl_node(3), Node { x: 3, y: 3 });
+    }
+
+    #[test]
+    fn contention_adds_queuing_delay() {
+        let cfg = MachineConfig { noc_contention: true, ..Default::default() };
+        let mut m = Mesh::new(&cfg);
+        let a = Node { x: 0, y: 0 };
+        let b = Node { x: 1, y: 0 };
+        let l1 = m.route(0, a, b);
+        // Second message over the same link at the same instant queues
+        // behind the first flit.
+        let l2 = m.route(0, a, b);
+        assert_eq!(l1, 3);
+        assert!(l2 > l1, "expected queuing delay, got {l2}");
+        assert!(m.contention_cycles() > 0);
+        assert_eq!(m.messages(), 2);
+    }
+
+    #[test]
+    fn no_contention_is_pure_distance() {
+        let mut m = mesh();
+        let a = Node { x: 0, y: 0 };
+        let b = Node { x: 2, y: 1 };
+        for _ in 0..10 {
+            assert_eq!(m.route(0, a, b), 9);
+        }
+        assert_eq!(m.contention_cycles(), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use suv_types::MachineConfig;
+
+    proptest! {
+        /// Latency is symmetric and proportional to Manhattan distance.
+        #[test]
+        fn latency_symmetric(ax in 0usize..4, ay in 0usize..4, bx in 0usize..4, by in 0usize..4) {
+            let m = Mesh::new(&MachineConfig::default());
+            let a = Node { x: ax, y: ay };
+            let b = Node { x: bx, y: by };
+            prop_assert_eq!(m.base_latency(a, b), m.base_latency(b, a));
+            prop_assert_eq!(m.base_latency(a, b), (m.hops(a, b) as u64) * 3);
+        }
+
+        /// Contended routing never reports less than the base latency, and
+        /// reduces to the base latency when messages are spread far apart
+        /// in time.
+        #[test]
+        fn contention_lower_bound(msgs in proptest::collection::vec((0usize..16, 0usize..16), 1..50)) {
+            let cfg = MachineConfig { noc_contention: true, ..Default::default() };
+            let mut m = Mesh::new(&cfg);
+            let mut now = 0u64;
+            for (c1, c2) in msgs {
+                let a = m.core_node(c1);
+                let b = m.core_node(c2);
+                let base = m.base_latency(a, b);
+                let lat = m.route(now, a, b);
+                prop_assert!(lat >= base);
+                // Far enough apart that every link has drained.
+                now += 1000;
+                let lat2 = m.route(now, a, b);
+                prop_assert_eq!(lat2, base);
+                now += 1000;
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The per-thread execution context — the API workloads program against.
+//!
+//! A [`ThreadCtx`] owns a simulated core's clock and its execution-time
+//! breakdown. Transactions are closures run under [`ThreadCtx::txn`]; their
+//! memory accesses go through the [`Tx`] guard and propagate [`Abort`] with
+//! `?`, which unwinds to the retry loop (the functional equivalent of the
+//! register checkpoint restore).
+
+use crate::sched::Scheduler;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use suv_htm::machine::{Access, CommitOutcome, HtmMachine};
+use suv_mem::{BumpAllocator, Region};
+use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, TxSite};
+
+/// Marker propagated by `?` out of a transaction body when the hardware
+/// aborted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort;
+
+/// Context given to `Workload::setup`: functional memory pokes plus a heap
+/// allocator. Setup is not timed (it models pre-measurement initialization,
+/// as STAMP's timed region starts after input generation).
+pub struct SetupCtx<'a> {
+    machine: &'a mut HtmMachine,
+    heap: BumpAllocator,
+}
+
+impl<'a> SetupCtx<'a> {
+    /// Wrap a machine for setup.
+    pub fn new(machine: &'a mut HtmMachine) -> Self {
+        SetupCtx { machine, heap: BumpAllocator::new(Region::heap()) }
+    }
+
+    /// Number of simulated cores / threads.
+    pub fn n_cores(&self) -> usize {
+        self.machine.config().n_cores
+    }
+
+    /// Allocate `n` 64-bit words on the simulated heap.
+    pub fn alloc_words(&mut self, n: u64) -> Addr {
+        self.heap.alloc_words(n)
+    }
+
+    /// Allocate a line-aligned block of `bytes`.
+    pub fn alloc_lines(&mut self, bytes: u64) -> Addr {
+        self.heap.alloc_lines(bytes)
+    }
+
+    /// Untimed functional write.
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.machine.poke(addr, value);
+    }
+
+    /// Untimed functional read.
+    pub fn peek(&mut self, addr: Addr) -> u64 {
+        self.machine.peek(addr)
+    }
+}
+
+/// Per-thread simulation context.
+pub struct ThreadCtx {
+    machine: Arc<Mutex<HtmMachine>>,
+    sched: Arc<Scheduler>,
+    tid: usize,
+    now: Cycle,
+    breakdown: Breakdown,
+    /// Transactional cycles of the current attempt (reclassified to Wasted
+    /// when the attempt aborts).
+    attempt_trans: Cycle,
+    in_tx: bool,
+    retry_interval: Cycle,
+    /// Deterministic per-thread RNG for workload decisions.
+    pub rng: StdRng,
+    /// Hard wall on simulated time to catch runaway configurations.
+    max_cycles: Cycle,
+}
+
+impl ThreadCtx {
+    /// Build the context for simulated thread `tid`.
+    pub fn new(machine: Arc<Mutex<HtmMachine>>, sched: Arc<Scheduler>, tid: usize) -> Self {
+        let retry_interval = machine.lock().config().htm.retry_interval;
+        ThreadCtx {
+            machine,
+            sched,
+            tid,
+            now: 0,
+            breakdown: Breakdown::default(),
+            attempt_trans: 0,
+            in_tx: false,
+            retry_interval,
+            rng: StdRng::seed_from_u64(0x57A3F + tid as u64 * 0x9E37),
+            max_cycles: 50_000_000_000,
+        }
+    }
+
+    /// This thread's id (== its core id).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Current local clock.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The accumulated execution-time breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        self.breakdown
+    }
+
+    fn spend(&mut self, kind: BreakdownKind, cycles: Cycle) {
+        self.now += cycles;
+        assert!(self.now < self.max_cycles, "simulated time explosion on thread {}", self.tid);
+        if self.in_tx && kind == BreakdownKind::Trans {
+            self.attempt_trans += cycles;
+        } else {
+            self.breakdown.add(kind, cycles);
+        }
+    }
+
+    fn sync(&self) {
+        self.sched.sync(self.tid, self.now);
+    }
+
+    /// Spend `cycles` of computation (one cycle per instruction on the
+    /// in-order core). Inside a transaction this is transactional work.
+    pub fn work(&mut self, cycles: Cycle) {
+        let kind = if self.in_tx { BreakdownKind::Trans } else { BreakdownKind::NoTrans };
+        self.spend(kind, cycles);
+    }
+
+    /// Non-transactional load.
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
+        loop {
+            self.sync();
+            let r = self.machine.lock().nontx_load(self.now, self.tid, addr);
+            match r {
+                Access::Done { value, latency } => {
+                    self.spend(BreakdownKind::NoTrans, latency);
+                    return value;
+                }
+                Access::Nacked { latency, .. } => {
+                    self.spend(BreakdownKind::Stalled, latency + self.retry_interval);
+                }
+                Access::MustAbort { .. } => unreachable!("non-transactional access doomed"),
+            }
+        }
+    }
+
+    /// Non-transactional store.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
+        loop {
+            self.sync();
+            let r = self.machine.lock().nontx_store(self.now, self.tid, addr, value);
+            match r {
+                Access::Done { latency, .. } => {
+                    self.spend(BreakdownKind::NoTrans, latency);
+                    return;
+                }
+                Access::Nacked { latency, .. } => {
+                    self.spend(BreakdownKind::Stalled, latency + self.retry_interval);
+                }
+                Access::MustAbort { .. } => unreachable!("non-transactional access doomed"),
+            }
+        }
+    }
+
+    /// Wait at the program barrier.
+    pub fn barrier(&mut self) {
+        assert!(!self.in_tx, "barrier inside a transaction");
+        let released = self.sched.barrier(self.tid, self.now);
+        let waited = released.saturating_sub(self.now);
+        self.now = released;
+        self.breakdown.add(BreakdownKind::Barrier, waited);
+    }
+
+    /// Run `body` as a transaction at static site `site`, retrying on
+    /// abort until it commits. Aborted attempts' transactional cycles are
+    /// reclassified as Wasted.
+    pub fn txn<F>(&mut self, site: TxSite, mut body: F)
+    where
+        F: FnMut(&mut Tx<'_>) -> Result<(), Abort>,
+    {
+        assert!(!self.in_tx, "nested txn() calls: use Tx::nested instead");
+        loop {
+            self.sync();
+            let begin_lat = self.machine.lock().begin_tx(self.now, self.tid, site);
+            self.in_tx = true;
+            self.attempt_trans = 0;
+            self.spend(BreakdownKind::Trans, begin_lat);
+
+            let result = body(&mut Tx { ctx: self });
+
+            let committed = match result {
+                Ok(()) => {
+                    self.sync();
+                    let out = self.machine.lock().commit_tx(self.now, self.tid);
+                    match out {
+                        CommitOutcome::Committed { latency, committing } => {
+                            self.in_tx = false;
+                            self.breakdown.add(BreakdownKind::Trans, self.attempt_trans);
+                            self.spend(BreakdownKind::Trans, latency - committing);
+                            self.spend(BreakdownKind::Committing, committing);
+                            true
+                        }
+                        CommitOutcome::MustAbort { latency } => {
+                            self.spend(BreakdownKind::Stalled, latency);
+                            self.do_abort();
+                            false
+                        }
+                    }
+                }
+                Err(Abort) => {
+                    self.do_abort();
+                    false
+                }
+            };
+            if committed {
+                return;
+            }
+        }
+    }
+
+    /// Hardware abort + backoff; reclassifies the attempt's work.
+    fn do_abort(&mut self) {
+        self.sync();
+        let dur = {
+            let mut m = self.machine.lock();
+            m.abort_tx(self.now, self.tid)
+        };
+        self.in_tx = false;
+        // The attempt's transactional work was wasted.
+        self.breakdown.add(BreakdownKind::Wasted, self.attempt_trans);
+        self.attempt_trans = 0;
+        self.spend(BreakdownKind::Aborting, dur);
+        let backoff = self.machine.lock().backoff_cycles(self.tid);
+        self.spend(BreakdownKind::Backoff, backoff);
+    }
+}
+
+/// Access guard inside a transaction.
+pub struct Tx<'a> {
+    ctx: &'a mut ThreadCtx,
+}
+
+impl Tx<'_> {
+    /// This thread's id.
+    pub fn tid(&self) -> usize {
+        self.ctx.tid
+    }
+
+    /// Deterministic per-thread RNG (workload decisions inside the body
+    /// must be derived from transactional data or re-drawn per attempt —
+    /// this RNG does not rewind on abort).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.ctx.rng
+    }
+
+    /// Transactional compute cycles.
+    pub fn work(&mut self, cycles: Cycle) {
+        self.ctx.spend(BreakdownKind::Trans, cycles);
+    }
+
+    /// Transactional load.
+    pub fn load(&mut self, addr: Addr) -> Result<u64, Abort> {
+        loop {
+            self.ctx.sync();
+            let r = self.ctx.machine.lock().tx_load(self.ctx.now, self.ctx.tid, addr);
+            match r {
+                Access::Done { value, latency } => {
+                    self.ctx.spend(BreakdownKind::Trans, latency);
+                    return Ok(value);
+                }
+                Access::Nacked { latency, must_abort, .. } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    if must_abort {
+                        return Err(Abort);
+                    }
+                    self.ctx.spend(BreakdownKind::Stalled, self.ctx.retry_interval);
+                }
+                Access::MustAbort { latency } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    return Err(Abort);
+                }
+            }
+        }
+    }
+
+    /// Transactional store.
+    pub fn store(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
+        loop {
+            self.ctx.sync();
+            let r = self.ctx.machine.lock().tx_store(self.ctx.now, self.ctx.tid, addr, value);
+            match r {
+                Access::Done { latency, .. } => {
+                    self.ctx.spend(BreakdownKind::Trans, latency);
+                    return Ok(());
+                }
+                Access::Nacked { latency, must_abort, .. } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    if must_abort {
+                        return Err(Abort);
+                    }
+                    self.ctx.spend(BreakdownKind::Stalled, self.ctx.retry_interval);
+                }
+                Access::MustAbort { latency } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    return Err(Abort);
+                }
+            }
+        }
+    }
+
+    /// Closed-nested transaction (flattened: subsumed into the outer one).
+    pub fn nested<F>(&mut self, site: TxSite, mut body: F) -> Result<(), Abort>
+    where
+        F: FnMut(&mut Tx<'_>) -> Result<(), Abort>,
+    {
+        self.ctx.sync();
+        let lat = self.ctx.machine.lock().begin_tx(self.ctx.now, self.ctx.tid, site);
+        self.ctx.spend(BreakdownKind::Trans, lat);
+        let r = body(self);
+        if r.is_ok() {
+            self.ctx.sync();
+            let out = self.ctx.machine.lock().commit_tx(self.ctx.now, self.ctx.tid);
+            match out {
+                CommitOutcome::Committed { latency, .. } => {
+                    self.ctx.spend(BreakdownKind::Trans, latency);
+                }
+                CommitOutcome::MustAbort { latency } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    return Err(Abort);
+                }
+            }
+        }
+        r
+    }
+}

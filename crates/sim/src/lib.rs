@@ -1,0 +1,24 @@
+//! The execution-driven CMP simulator.
+//!
+//! Workloads are real Rust code: each simulated core runs the workload's
+//! per-thread body on its own OS thread, and every memory reference goes
+//! through [`ThreadCtx`] into the
+//! [`HtmMachine`](suv_htm::machine::HtmMachine), which charges the Table
+//! III latencies and enforces transactional semantics. A deterministic
+//! cooperative [`sched::Scheduler`] runs exactly one simulated thread at a
+//! time — always the one with the smallest local clock — so every run is
+//! reproducible down to the cycle.
+//!
+//! The per-thread clock also drives the Figure 6/9 execution-time
+//! breakdown: every consumed cycle is attributed to NoTrans, Trans,
+//! Barrier, Backoff, Stalled, Wasted, Aborting or Committing.
+
+pub mod context;
+pub mod runner;
+pub mod sched;
+pub mod scheme;
+
+pub use context::{Abort, SetupCtx, ThreadCtx, Tx};
+pub use runner::{run_workload, RunResult, Workload};
+pub use sched::Scheduler;
+pub use scheme::build_vm;

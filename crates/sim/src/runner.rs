@@ -1,0 +1,232 @@
+//! Workload execution harness.
+
+use crate::context::{SetupCtx, ThreadCtx};
+use crate::sched::Scheduler;
+use crate::scheme::build_vm;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use suv_htm::machine::HtmMachine;
+use suv_types::{MachineConfig, MachineStats, SchemeKind};
+
+/// A benchmark program for the simulated machine.
+///
+/// `setup` builds the initial memory image (untimed, like STAMP's input
+/// generation); `run` is the timed parallel region executed by every
+/// simulated thread.
+pub trait Workload: Sync {
+    /// Short name (figure row label).
+    fn name(&self) -> &'static str;
+
+    /// Build the initial memory image and record addresses in `self`.
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>);
+
+    /// The timed per-thread body.
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx);
+
+    /// Optional functional self-check after the run (panics on violation).
+    fn verify(&self, _ctx: &mut SetupCtx<'_>) {}
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme that was simulated.
+    pub scheme: SchemeKind,
+    /// Workload name.
+    pub workload: String,
+    /// All collected statistics.
+    pub stats: MachineStats,
+}
+
+impl RunResult {
+    /// Total simulated execution time (cycles).
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Speedup of this run relative to `other` (>1 = this one is faster).
+    pub fn speedup_over(&self, other: &RunResult) -> f64 {
+        other.stats.cycles as f64 / self.stats.cycles as f64
+    }
+}
+
+/// Simulate `workload` under `scheme` on the configured machine.
+pub fn run_workload(
+    cfg: &MachineConfig,
+    scheme: SchemeKind,
+    workload: &mut dyn Workload,
+) -> RunResult {
+    let vm = build_vm(scheme, cfg);
+    let mut machine = HtmMachine::new(cfg, vm);
+    {
+        let mut setup = SetupCtx::new(&mut machine);
+        workload.setup(&mut setup);
+    }
+    let machine = Arc::new(Mutex::new(machine));
+    let sched = Arc::new(Scheduler::new(cfg.n_cores));
+    let contexts: Vec<Mutex<Option<ThreadCtx>>> =
+        (0..cfg.n_cores).map(|_| Mutex::new(None)).collect();
+
+    let workload_ref: &dyn Workload = workload;
+    std::thread::scope(|s| {
+        #[allow(clippy::needless_range_loop)] // tid is the core id, not just an index
+        for tid in 0..cfg.n_cores {
+            let machine = Arc::clone(&machine);
+            let sched = Arc::clone(&sched);
+            let slot = &contexts[tid];
+            let w = workload_ref;
+            s.spawn(move || {
+                sched.wait_start(tid);
+                let mut ctx = ThreadCtx::new(machine, Arc::clone(&sched), tid);
+                w.run(tid, &mut ctx);
+                sched.finish(tid);
+                *slot.lock() = Some(ctx);
+            });
+        }
+        sched.start();
+    });
+
+    let mut per_thread = Vec::with_capacity(cfg.n_cores);
+    let mut end = 0;
+    for slot in &contexts {
+        let ctx = slot.lock().take().expect("worker must deposit its context");
+        end = end.max(ctx.now());
+        per_thread.push(ctx.breakdown());
+    }
+
+    let mut machine = Arc::try_unwrap(machine)
+        .unwrap_or_else(|_| panic!("machine still shared"))
+        .into_inner();
+    {
+        let mut setup = SetupCtx::new(&mut machine);
+        workload.verify(&mut setup);
+    }
+
+    let tx = machine.tx_stats();
+    let mem_stats = machine.sys.stats();
+    let lazy_txns = machine.vm().lazy_tx_count();
+    let stats = MachineStats {
+        cycles: end,
+        per_thread,
+        tx,
+        overflow: machine.overflow_stats(),
+        redirect: machine.vm().redirect_stats(),
+        l1_misses: mem_stats.l1_misses,
+        l2_misses: mem_stats.l2_misses,
+        lazy_txns,
+        eager_txns: (tx.commits + tx.aborts).saturating_sub(lazy_txns),
+    };
+    RunResult { scheme, workload: workload.name().to_string(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SetupCtx, ThreadCtx};
+    use suv_types::TxSite;
+
+    /// Each thread increments a shared counter `iters` times inside
+    /// transactions; the final value must be exact under every scheme.
+    struct CounterWorkload {
+        counter: u64,
+        iters: u64,
+        expected: u64,
+    }
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+            self.counter = ctx.alloc_words(1);
+            ctx.poke(self.counter, 0);
+        }
+        fn run(&self, _tid: usize, ctx: &mut ThreadCtx) {
+            for _ in 0..self.iters {
+                let addr = self.counter;
+                ctx.txn(TxSite(1), |tx| {
+                    let v = tx.load(addr)?;
+                    tx.work(5);
+                    tx.store(addr, v + 1)?;
+                    Ok(())
+                });
+                ctx.work(20);
+            }
+            ctx.barrier();
+        }
+        fn verify(&self, ctx: &mut SetupCtx<'_>) {
+            assert_eq!(ctx.peek(self.counter), self.expected, "lost updates!");
+        }
+    }
+
+    fn run_counter(scheme: SchemeKind) -> RunResult {
+        let cfg = MachineConfig::small_test();
+        let mut w = CounterWorkload { counter: 0, iters: 25, expected: 25 * cfg.n_cores as u64 };
+        run_workload(&cfg, scheme, &mut w)
+    }
+
+    #[test]
+    fn counter_exact_under_logtm() {
+        let r = run_counter(SchemeKind::LogTmSe);
+        assert!(r.stats.tx.commits == 100);
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn counter_exact_under_fastm() {
+        run_counter(SchemeKind::FasTm);
+    }
+
+    #[test]
+    fn counter_exact_under_suv() {
+        let r = run_counter(SchemeKind::SuvTm);
+        assert!(r.stats.redirect.entries_added > 0, "SUV must have redirected stores");
+    }
+
+    #[test]
+    fn counter_exact_under_lazy() {
+        let r = run_counter(SchemeKind::Lazy);
+        assert_eq!(r.stats.lazy_txns, r.stats.tx.commits + r.stats.tx.aborts);
+    }
+
+    #[test]
+    fn counter_exact_under_dyntm() {
+        run_counter(SchemeKind::DynTm);
+    }
+
+    #[test]
+    fn counter_exact_under_dyntm_suv() {
+        run_counter(SchemeKind::DynTmSuv);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_counter(SchemeKind::SuvTm);
+        let b = run_counter(SchemeKind::SuvTm);
+        assert_eq!(a.stats.cycles, b.stats.cycles, "simulation must be deterministic");
+        assert_eq!(a.stats.tx.aborts, b.stats.tx.aborts);
+    }
+
+    #[test]
+    fn contended_counter_aborts_under_stall_policy() {
+        // With this much contention some attempts must stall or abort.
+        let r = run_counter(SchemeKind::LogTmSe);
+        assert!(
+            r.stats.tx.nacks_received > 0 || r.stats.tx.aborts > 0,
+            "a fully-contended counter cannot be conflict-free"
+        );
+    }
+
+    #[test]
+    fn breakdown_accounts_all_time() {
+        let r = run_counter(SchemeKind::LogTmSe);
+        // Every thread's breakdown total must equal its end time — modulo
+        // barrier alignment, each component was charged somewhere.
+        let total = r.stats.total_breakdown().total();
+        assert!(total > 0);
+        // The max thread clock bounds any single thread's breakdown.
+        for b in &r.stats.per_thread {
+            assert!(b.total() <= r.stats.cycles);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The deterministic cooperative scheduler.
+//!
+//! One OS thread per simulated core, but only one runs at any instant: the
+//! one whose local clock is smallest (ties broken by core id). Every
+//! shared-state operation is preceded by [`Scheduler::sync`], which parks
+//! the caller until it is the global minimum — so machine state mutations
+//! happen in strict global-time order and every run is bit-reproducible.
+//!
+//! The handoff is a baton: a parked thread owns a rendezvous channel; the
+//! thread giving up the CPU pops the next (time, id) pair from the run
+//! queue and signals that thread's channel.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use suv_types::Cycle;
+
+struct Inner {
+    /// Runnable threads, keyed by (wake time, id).
+    queue: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Threads waiting at the barrier (id, arrival time).
+    barrier_waiters: Vec<(usize, Cycle)>,
+    /// Per-thread barrier release time, written by the last arriver.
+    release_time: Vec<Cycle>,
+    /// Threads that finished their body.
+    finished: usize,
+    /// Total threads.
+    n: usize,
+}
+
+impl Inner {
+    /// Release all barrier waiters at the latest arrival time.
+    fn release_barrier(&mut self) {
+        let tmax = self.barrier_waiters.iter().map(|(_, t)| *t).max().expect("non-empty");
+        for (w, _) in std::mem::take(&mut self.barrier_waiters) {
+            self.release_time[w] = tmax;
+            self.queue.push(Reverse((tmax, w)));
+        }
+    }
+}
+
+/// The scheduler.
+pub struct Scheduler {
+    inner: Mutex<Inner>,
+    gates: Vec<(Sender<()>, Receiver<()>)>,
+}
+
+impl Scheduler {
+    /// Scheduler for `n` simulated threads.
+    pub fn new(n: usize) -> Self {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                queue: BinaryHeap::new(),
+                barrier_waiters: Vec::new(),
+                release_time: vec![0; n],
+                finished: 0,
+                n,
+            }),
+            gates: (0..n).map(|_| bounded(1)).collect(),
+        }
+    }
+
+    /// Number of threads.
+    pub fn n(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Called by each worker as its very first action: park until the
+    /// scheduler hands over the baton.
+    pub fn wait_start(&self, tid: usize) {
+        self.gates[tid].1.recv().expect("scheduler channel closed");
+    }
+
+    /// Seed the run queue with all threads at time 0 and release the first.
+    pub fn start(&self) {
+        let first = {
+            let mut g = self.inner.lock();
+            for tid in 0..g.n {
+                g.queue.push(Reverse((0, tid)));
+            }
+            g.queue.pop().expect("non-empty").0 .1
+        };
+        self.gates[first].0.send(()).expect("worker gone");
+    }
+
+    /// Hand the baton to `next` and park until signalled back. No-op when
+    /// we popped ourselves.
+    fn handoff(&self, tid: usize, next: usize) {
+        if next == tid {
+            return;
+        }
+        self.gates[next].0.send(()).expect("worker gone");
+        self.gates[tid].1.recv().expect("scheduler channel closed");
+    }
+
+    /// Block until this thread's clock `t` is the global minimum. Returns
+    /// immediately when it already is (the common single-hot-thread case).
+    pub fn sync(&self, tid: usize, t: Cycle) {
+        let next = {
+            let mut g = self.inner.lock();
+            match g.queue.peek() {
+                None => return, // nobody else runnable: keep going
+                Some(Reverse((tmin, id))) => {
+                    if (t, tid) <= (*tmin, *id) {
+                        return; // still the minimum
+                    }
+                }
+            }
+            g.queue.push(Reverse((t, tid)));
+            g.queue.pop().expect("non-empty").0 .1
+        };
+        self.handoff(tid, next);
+    }
+
+    /// Barrier: park until every unfinished thread arrives; everyone
+    /// resumes at the latest arrival time, which is returned.
+    pub fn barrier(&self, tid: usize, t: Cycle) -> Cycle {
+        let next = {
+            let mut g = self.inner.lock();
+            g.barrier_waiters.push((tid, t));
+            if g.barrier_waiters.len() + g.finished == g.n {
+                g.release_barrier();
+            }
+            match g.queue.pop() {
+                Some(Reverse((_, next))) => next,
+                None => unreachable!("barrier with no runnable thread and waiters pending"),
+            }
+        };
+        self.handoff(tid, next);
+        self.inner.lock().release_time[tid]
+    }
+
+    /// Mark this thread finished and hand the baton onward.
+    pub fn finish(&self, tid: usize) {
+        let next = {
+            let mut g = self.inner.lock();
+            g.finished += 1;
+            if !g.barrier_waiters.is_empty() && g.barrier_waiters.len() + g.finished == g.n {
+                g.release_barrier();
+            }
+            g.queue.pop().map(|Reverse((_, id))| id)
+        };
+        if let Some(next) = next {
+            debug_assert_ne!(next, tid, "finished thread re-dispatched");
+            self.gates[next].0.send(()).expect("worker gone");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Threads with interleaved clocks must observe a strictly
+    /// time-ordered execution.
+    #[test]
+    fn global_time_order() {
+        let n = 4;
+        let sched = Arc::new(Scheduler::new(n));
+        let log = Arc::new(Mutex::new(Vec::<(u64, usize)>::new()));
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let sched = Arc::clone(&sched);
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    sched.wait_start(tid);
+                    let mut t = 0u64;
+                    for step in 0..20u64 {
+                        t += 1 + ((tid as u64 * 7 + step * 3) % 11);
+                        sched.sync(tid, t);
+                        log.lock().push((t, tid));
+                    }
+                    sched.finish(tid);
+                });
+            }
+            sched.start();
+        });
+        let log = log.lock();
+        assert_eq!(log.len(), n * 20);
+        for w in log.windows(2) {
+            assert!(w[0].0 <= w[1].0, "events out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let n = 3;
+            let sched = Arc::new(Scheduler::new(n));
+            let log = Arc::new(Mutex::new(Vec::<(u64, usize)>::new()));
+            std::thread::scope(|s| {
+                for tid in 0..n {
+                    let sched = Arc::clone(&sched);
+                    let log = Arc::clone(&log);
+                    s.spawn(move || {
+                        sched.wait_start(tid);
+                        let mut t = 0u64;
+                        for step in 0..30u64 {
+                            t += 1 + ((tid as u64 + step) % 5);
+                            sched.sync(tid, t);
+                            log.lock().push((t, tid));
+                        }
+                        sched.finish(tid);
+                    });
+                }
+                sched.start();
+            });
+            Arc::try_unwrap(log).unwrap().into_inner()
+        };
+        assert_eq!(run(), run(), "scheduler must be deterministic");
+    }
+
+    #[test]
+    fn barrier_synchronizes_to_max_time() {
+        let n = 4;
+        let sched = Arc::new(Scheduler::new(n));
+        let releases = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let sched = Arc::clone(&sched);
+                let releases = Arc::clone(&releases);
+                s.spawn(move || {
+                    sched.wait_start(tid);
+                    let t = 100 * (tid as u64 + 1); // arrive at 100..400
+                    sched.sync(tid, t);
+                    let released = sched.barrier(tid, t);
+                    releases.lock().push(released);
+                    sched.finish(tid);
+                });
+            }
+            sched.start();
+        });
+        let releases = releases.lock();
+        assert_eq!(releases.len(), n);
+        assert!(releases.iter().all(|r| *r == 400), "all release at max arrival: {releases:?}");
+    }
+
+    #[test]
+    fn consecutive_barriers_do_not_cross_talk() {
+        let n = 3;
+        let sched = Arc::new(Scheduler::new(n));
+        let releases = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let sched = Arc::clone(&sched);
+                let releases = Arc::clone(&releases);
+                s.spawn(move || {
+                    sched.wait_start(tid);
+                    let mut t = 10 * (tid as u64 + 1);
+                    sched.sync(tid, t);
+                    t = sched.barrier(tid, t);
+                    t += 5 * (tid as u64 + 1);
+                    sched.sync(tid, t);
+                    let r2 = sched.barrier(tid, t);
+                    releases.lock().push(r2);
+                    sched.finish(tid);
+                });
+            }
+            sched.start();
+        });
+        let releases = releases.lock();
+        // First barrier releases at 30; second arrivals are 35/40/45.
+        assert!(releases.iter().all(|r| *r == 45), "{releases:?}");
+    }
+
+    #[test]
+    fn finished_threads_do_not_block_barrier() {
+        let n = 3;
+        let sched = Arc::new(Scheduler::new(n));
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let sched = Arc::clone(&sched);
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    sched.wait_start(tid);
+                    if tid == 2 {
+                        sched.finish(tid);
+                        return;
+                    }
+                    sched.sync(tid, 10 + tid as u64);
+                    sched.barrier(tid, 10 + tid as u64);
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    sched.finish(tid);
+                });
+            }
+            sched.start();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}

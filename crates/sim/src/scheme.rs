@@ -1,0 +1,98 @@
+//! Version-manager factory.
+
+use suv_core::SuvVm;
+use suv_htm::dyntm::DynTm;
+use suv_htm::fastm::FasTm;
+use suv_htm::lazy::LazyVm;
+use suv_htm::logtm::LogTmSe;
+use suv_htm::vm::VersionManager;
+use suv_types::{MachineConfig, SchemeKind};
+
+/// A lazy VM whose transactions all run in lazy mode (the pure TCC-like
+/// ablation baseline).
+struct AlwaysLazy(LazyVm, u64);
+
+impl VersionManager for AlwaysLazy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Lazy
+    }
+    fn choose_mode(&mut self, _core: usize, _site: suv_types::TxSite) -> bool {
+        self.1 += 1;
+        true
+    }
+    fn begin(
+        &mut self,
+        env: &mut suv_htm::vm::VmEnv,
+        core: usize,
+        lazy: bool,
+    ) -> suv_types::Cycle {
+        self.0.begin(env, core, lazy)
+    }
+    fn resolve_load(
+        &mut self,
+        env: &mut suv_htm::vm::VmEnv,
+        core: usize,
+        addr: u64,
+        in_tx: bool,
+    ) -> (suv_htm::vm::LoadTarget, suv_types::Cycle) {
+        self.0.resolve_load(env, core, addr, in_tx)
+    }
+    fn prepare_store(
+        &mut self,
+        env: &mut suv_htm::vm::VmEnv,
+        core: usize,
+        addr: u64,
+        value: u64,
+        in_tx: bool,
+    ) -> (suv_htm::vm::StoreTarget, suv_types::Cycle) {
+        self.0.prepare_store(env, core, addr, value, in_tx)
+    }
+    fn commit(&mut self, env: &mut suv_htm::vm::VmEnv, core: usize) -> suv_types::Cycle {
+        self.0.commit(env, core)
+    }
+    fn abort(&mut self, env: &mut suv_htm::vm::VmEnv, core: usize) -> suv_types::Cycle {
+        self.0.abort(env, core)
+    }
+    fn lazy_tx_count(&self) -> u64 {
+        self.1
+    }
+}
+
+/// Build the version manager implementing `scheme` for the configured
+/// machine.
+pub fn build_vm(scheme: SchemeKind, cfg: &MachineConfig) -> Box<dyn VersionManager> {
+    let n = cfg.n_cores;
+    match scheme {
+        SchemeKind::LogTmSe => Box::new(LogTmSe::new(n, cfg.htm)),
+        SchemeKind::FasTm => Box::new(FasTm::new(n, cfg.htm)),
+        SchemeKind::SuvTm => Box::new(SuvVm::new(n, &cfg.suv)),
+        SchemeKind::Lazy => Box::new(AlwaysLazy(LazyVm::new(n), 0)),
+        SchemeKind::DynTm => {
+            Box::new(DynTm::original(Box::new(FasTm::new(n, cfg.htm)), n, &cfg.dyntm))
+        }
+        SchemeKind::DynTmSuv => {
+            Box::new(DynTm::with_suv(Box::new(SuvVm::new(n, &cfg.suv)), n, &cfg.dyntm))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_scheme() {
+        let cfg = MachineConfig::small_test();
+        for k in [
+            SchemeKind::LogTmSe,
+            SchemeKind::FasTm,
+            SchemeKind::SuvTm,
+            SchemeKind::Lazy,
+            SchemeKind::DynTm,
+            SchemeKind::DynTmSuv,
+        ] {
+            let vm = build_vm(k, &cfg);
+            assert_eq!(vm.kind(), k);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Dense 3-D grid (labyrinth's routing substrate).
+
+use suv_sim::{Abort, SetupCtx, Tx};
+use suv_types::Addr;
+
+/// Cell value for "free".
+pub const FREE: u64 = 0;
+
+/// A dense `x * y * z` grid of one word per cell.
+#[derive(Debug, Clone, Copy)]
+pub struct TxGrid3 {
+    base: Addr,
+    pub x: u64,
+    pub y: u64,
+    pub z: u64,
+}
+
+impl TxGrid3 {
+    /// An unusable placeholder for struct fields initialized before
+    /// `setup` runs.
+    pub const fn placeholder(x: u64, y: u64, z: u64) -> Self {
+        TxGrid3 { base: 0, x, y, z }
+    }
+
+    /// Allocate an all-free grid.
+    pub fn new(ctx: &mut SetupCtx<'_>, x: u64, y: u64, z: u64) -> Self {
+        let base = ctx.alloc_lines(x * y * z * 8);
+        TxGrid3 { base, x, y, z }
+    }
+
+    /// Address of cell `(cx, cy, cz)`.
+    pub fn cell(&self, cx: u64, cy: u64, cz: u64) -> Addr {
+        debug_assert!(cx < self.x && cy < self.y && cz < self.z);
+        self.base + ((cz * self.y + cy) * self.x + cx) * 8
+    }
+
+    /// Transactional read of a cell.
+    pub fn read(&self, tx: &mut Tx<'_>, cx: u64, cy: u64, cz: u64) -> Result<u64, Abort> {
+        tx.load(self.cell(cx, cy, cz))
+    }
+
+    /// Transactional write of a cell.
+    pub fn write(
+        &self,
+        tx: &mut Tx<'_>,
+        cx: u64,
+        cy: u64,
+        cz: u64,
+        v: u64,
+    ) -> Result<(), Abort> {
+        tx.store(self.cell(cx, cy, cz), v)
+    }
+
+    /// Untimed cell read for verification.
+    pub fn peek(&self, ctx: &mut SetupCtx<'_>, cx: u64, cy: u64, cz: u64) -> u64 {
+        ctx.peek(self.cell(cx, cy, cz))
+    }
+
+    /// Untimed count of cells equal to `v`.
+    pub fn count_setup(&self, ctx: &mut SetupCtx<'_>, v: u64) -> u64 {
+        let mut n = 0;
+        for cz in 0..self.z {
+            for cy in 0..self.y {
+                for cx in 0..self.x {
+                    if self.peek(ctx, cx, cy, cz) == v {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed-capacity open-addressed transactional hash map.
+//!
+//! Layout: `capacity` slots of two words each — `[key, value]` — linear
+//! probing, key `0` = empty, key `u64::MAX` = tombstone. Capacity is a
+//! power of two fixed at construction (STAMP's tables are pre-sized the
+//! same way). Keys must be in `1..u64::MAX`.
+
+use crate::ds::mix64;
+use suv_sim::{Abort, SetupCtx, Tx};
+use suv_types::Addr;
+
+const EMPTY: u64 = 0;
+const TOMB: u64 = u64::MAX;
+
+/// Transactional open-addressed hash map.
+#[derive(Debug, Clone, Copy)]
+pub struct TxHashMap {
+    base: Addr,
+    mask: u64,
+}
+
+impl TxHashMap {
+    /// An unusable placeholder for struct fields initialized before
+    /// `setup` runs (workloads overwrite it with a real map).
+    pub const fn placeholder() -> Self {
+        TxHashMap { base: 0, mask: 0 }
+    }
+
+    /// Allocate a map of `capacity` (power of two) slots.
+    pub fn new(ctx: &mut SetupCtx<'_>, capacity: u64) -> Self {
+        assert!(capacity.is_power_of_two());
+        let base = ctx.alloc_lines(capacity * 16);
+        TxHashMap { base, mask: capacity - 1 }
+    }
+
+    fn slot(&self, i: u64) -> Addr {
+        self.base + (i & self.mask) * 16
+    }
+
+    /// Insert or update inside a transaction. Returns `true` when the key
+    /// was new.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> Result<bool, Abort> {
+        debug_assert!(key != EMPTY && key != TOMB);
+        let mut i = mix64(key);
+        let end = i + self.mask + 1;
+        loop {
+            assert!(i < end, "TxHashMap full: size it for the workload");
+            let s = self.slot(i);
+            let k = tx.load(s)?;
+            if k == key {
+                tx.store(s + 8, value)?;
+                return Ok(false);
+            }
+            if k == EMPTY || k == TOMB {
+                tx.store(s, key)?;
+                tx.store(s + 8, value)?;
+                return Ok(true);
+            }
+            i += 1;
+        }
+    }
+
+    /// Look a key up inside a transaction.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        debug_assert!(key != EMPTY && key != TOMB);
+        let mut i = mix64(key);
+        loop {
+            let s = self.slot(i);
+            let k = tx.load(s)?;
+            if k == key {
+                return Ok(Some(tx.load(s + 8)?));
+            }
+            if k == EMPTY {
+                return Ok(None);
+            }
+            i += 1;
+        }
+    }
+
+    /// Remove a key inside a transaction (tombstone). Returns the removed
+    /// value, if present.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        let mut i = mix64(key);
+        loop {
+            let s = self.slot(i);
+            let k = tx.load(s)?;
+            if k == key {
+                let v = tx.load(s + 8)?;
+                tx.store(s, TOMB)?;
+                return Ok(Some(v));
+            }
+            if k == EMPTY {
+                return Ok(None);
+            }
+            i += 1;
+        }
+    }
+
+    /// Untimed setup-side insert.
+    pub fn insert_setup(&self, ctx: &mut SetupCtx<'_>, key: u64, value: u64) -> bool {
+        debug_assert!(key != EMPTY && key != TOMB);
+        let mut i = mix64(key);
+        let end = i + self.mask + 1;
+        loop {
+            assert!(i < end, "TxHashMap full: size it for the workload");
+            let s = self.slot(i);
+            let k = ctx.peek(s);
+            if k == key {
+                ctx.poke(s + 8, value);
+                return false;
+            }
+            if k == EMPTY || k == TOMB {
+                ctx.poke(s, key);
+                ctx.poke(s + 8, value);
+                return true;
+            }
+            i += 1;
+        }
+    }
+
+    /// Untimed setup-side lookup.
+    pub fn get_setup(&self, ctx: &mut SetupCtx<'_>, key: u64) -> Option<u64> {
+        let mut i = mix64(key);
+        loop {
+            let s = self.slot(i);
+            let k = ctx.peek(s);
+            if k == key {
+                return Some(ctx.peek(s + 8));
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i += 1;
+        }
+    }
+
+    /// Untimed count of live keys (verification).
+    pub fn len_setup(&self, ctx: &mut SetupCtx<'_>) -> u64 {
+        let mut n = 0;
+        for i in 0..=self.mask {
+            let k = ctx.peek(self.slot(i));
+            if k != EMPTY && k != TOMB {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Untimed sum of all live values (verification).
+    pub fn sum_values_setup(&self, ctx: &mut SetupCtx<'_>) -> u64 {
+        let mut s = 0u64;
+        for i in 0..=self.mask {
+            let k = ctx.peek(self.slot(i));
+            if k != EMPTY && k != TOMB {
+                s = s.wrapping_add(ctx.peek(self.slot(i) + 8));
+            }
+        }
+        s
+    }
+}

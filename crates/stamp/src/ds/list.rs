@@ -1,0 +1,82 @@
+//! Transactional singly-linked list.
+//!
+//! Nodes are `[value, next]` pairs allocated from a [`TxSlab`]; the head
+//! pointer lives on its own line. Used for genome's overlap chains and
+//! vacation's per-customer reservation lists.
+
+use crate::ds::slab::TxSlab;
+use suv_sim::{Abort, SetupCtx, Tx};
+use suv_types::Addr;
+
+/// Null link.
+pub const NIL: u64 = 0;
+
+/// Transactional list head.
+#[derive(Debug, Clone, Copy)]
+pub struct TxList {
+    head: Addr,
+}
+
+impl TxList {
+    /// Allocate an empty list.
+    pub fn new(ctx: &mut SetupCtx<'_>) -> Self {
+        let head = ctx.alloc_lines(8);
+        ctx.poke(head, NIL);
+        TxList { head }
+    }
+
+    /// Push `value` at the front inside a transaction, allocating the
+    /// node from `slab`.
+    pub fn push_front(
+        &self,
+        tx: &mut Tx<'_>,
+        slab: &TxSlab,
+        tid: usize,
+        value: u64,
+    ) -> Result<(), Abort> {
+        let node = slab.alloc(tx, tid, 2)?;
+        let old = tx.load(self.head)?;
+        tx.store(node, value)?;
+        tx.store(node + 8, old)?;
+        tx.store(self.head, node)?;
+        Ok(())
+    }
+
+    /// Pop the front value inside a transaction.
+    pub fn pop_front(&self, tx: &mut Tx<'_>) -> Result<Option<u64>, Abort> {
+        let node = tx.load(self.head)?;
+        if node == NIL {
+            return Ok(None);
+        }
+        let v = tx.load(node)?;
+        let next = tx.load(node + 8)?;
+        tx.store(self.head, next)?;
+        Ok(Some(v))
+    }
+
+    /// Walk the list inside a transaction, returning (length, value sum).
+    pub fn fold(&self, tx: &mut Tx<'_>) -> Result<(u64, u64), Abort> {
+        let mut node = tx.load(self.head)?;
+        let mut n = 0;
+        let mut sum = 0u64;
+        while node != NIL {
+            sum = sum.wrapping_add(tx.load(node)?);
+            node = tx.load(node + 8)?;
+            n += 1;
+        }
+        Ok((n, sum))
+    }
+
+    /// Untimed (length, sum) for verification.
+    pub fn fold_setup(&self, ctx: &mut SetupCtx<'_>) -> (u64, u64) {
+        let mut node = ctx.peek(self.head);
+        let mut n = 0;
+        let mut sum = 0u64;
+        while node != NIL {
+            sum = sum.wrapping_add(ctx.peek(node));
+            node = ctx.peek(node + 8);
+            n += 1;
+        }
+        (n, sum)
+    }
+}

@@ -1,0 +1,43 @@
+//! Transactional data structures over simulated memory.
+//!
+//! Every structure stores its state in the simulated address space and is
+//! manipulated through the [`Tx`](suv_sim::Tx) guard, so each operation is
+//! timed, conflict-checked, and rolls back with the enclosing transaction.
+//! Layouts follow what the real STAMP C code would produce: fixed-capacity
+//! open-addressed hash tables, intrusive linked nodes from per-thread
+//! slabs, ring-buffer queues with head/tail words, and dense grids.
+
+pub mod grid;
+pub mod hashmap;
+pub mod list;
+pub mod queue;
+pub mod slab;
+
+pub use grid::TxGrid3;
+pub use hashmap::TxHashMap;
+pub use list::TxList;
+pub use queue::TxQueue;
+pub use slab::TxSlab;
+
+/// SplitMix64 finalizer — the hash all structures share.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mix64;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Low bits of sequential keys should differ most of the time.
+        let same = (0..1000u64).filter(|k| mix64(*k) & 0xff == mix64(k + 1) & 0xff).count();
+        assert!(same < 50, "{same} collisions in low byte");
+    }
+}

@@ -1,0 +1,83 @@
+//! Transactional ring-buffer queue.
+//!
+//! A single header line holds `head` and `tail`; slots follow. Every
+//! push/pop touches the header, which makes the queue a genuine
+//! contention hot-spot — exactly the behaviour intruder's shared packet
+//! queue exhibits in STAMP.
+
+use suv_sim::{Abort, SetupCtx, Tx};
+use suv_types::Addr;
+
+/// Transactional MPMC ring buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct TxQueue {
+    header: Addr,
+    slots: Addr,
+    mask: u64,
+}
+
+impl TxQueue {
+    /// An unusable placeholder for struct fields initialized before
+    /// `setup` runs.
+    pub const fn placeholder() -> Self {
+        TxQueue { header: 0, slots: 0, mask: 0 }
+    }
+
+    /// Allocate a queue with `capacity` (power of two) slots.
+    pub fn new(ctx: &mut SetupCtx<'_>, capacity: u64) -> Self {
+        assert!(capacity.is_power_of_two());
+        let header = ctx.alloc_lines(64);
+        let slots = ctx.alloc_lines(capacity * 8);
+        ctx.poke(header, 0); // head
+        ctx.poke(header + 8, 0); // tail
+        TxQueue { header, slots, mask: capacity - 1 }
+    }
+
+    fn head_addr(&self) -> Addr {
+        self.header
+    }
+    fn tail_addr(&self) -> Addr {
+        self.header + 8
+    }
+    fn slot(&self, i: u64) -> Addr {
+        self.slots + (i & self.mask) * 8
+    }
+
+    /// Push inside a transaction. Returns `false` when full.
+    pub fn push(&self, tx: &mut Tx<'_>, value: u64) -> Result<bool, Abort> {
+        let tail = tx.load(self.tail_addr())?;
+        let head = tx.load(self.head_addr())?;
+        if tail - head > self.mask {
+            return Ok(false);
+        }
+        tx.store(self.slot(tail), value)?;
+        tx.store(self.tail_addr(), tail + 1)?;
+        Ok(true)
+    }
+
+    /// Pop inside a transaction. Returns `None` when empty.
+    pub fn pop(&self, tx: &mut Tx<'_>) -> Result<Option<u64>, Abort> {
+        let head = tx.load(self.head_addr())?;
+        let tail = tx.load(self.tail_addr())?;
+        if head == tail {
+            return Ok(None);
+        }
+        let v = tx.load(self.slot(head))?;
+        tx.store(self.head_addr(), head + 1)?;
+        Ok(Some(v))
+    }
+
+    /// Untimed setup-side push.
+    pub fn push_setup(&self, ctx: &mut SetupCtx<'_>, value: u64) {
+        let tail = ctx.peek(self.tail_addr());
+        let head = ctx.peek(self.head_addr());
+        assert!(tail - head <= self.mask, "queue full during setup");
+        ctx.poke(self.slot(tail), value);
+        ctx.poke(self.tail_addr(), tail + 1);
+    }
+
+    /// Untimed length (verification).
+    pub fn len_setup(&self, ctx: &mut SetupCtx<'_>) -> u64 {
+        ctx.peek(self.tail_addr()) - ctx.peek(self.head_addr())
+    }
+}

@@ -1,0 +1,136 @@
+//! bayes — Bayesian network structure learning (Table IV: the
+//! second-longest transactions of the suite, high contention).
+//!
+//! Hill climbing over a shared adjacency matrix: each proposal reads two
+//! whole variable rows plus the score cache (a large read set), then
+//! toggles an edge and rewrites both variables' scores; every few
+//! proposals the learner rewrites a full parent row (a large write set —
+//! this is what overflows L1s and undoes FasTM's fast abort). Proposals
+//! are biased towards a few popular variables, which is where the
+//! contention comes from.
+
+use crate::ds::mix64;
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// The bayes workload.
+pub struct Bayes {
+    n_vars: u64,
+    ops_per_thread: u64,
+    /// Adjacency matrix, `n_vars * n_vars` words.
+    adj: Addr,
+    /// Per-variable score cache.
+    scores: Addr,
+    /// Global accepted-proposal counter.
+    accepted: Addr,
+    threads: usize,
+}
+
+impl Bayes {
+    /// Build at the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        let (n_vars, ops_per_thread) = match scale {
+            SuiteScale::Tiny => (16, 6),
+            SuiteScale::Paper => (96, 24),
+        };
+        Bayes { n_vars, ops_per_thread, adj: 0, scores: 0, accepted: 0, threads: 0 }
+    }
+
+    fn row(&self, v: u64) -> Addr {
+        self.adj + v * self.n_vars * 8
+    }
+
+    /// Pick a variable, biased towards low indices (popular variables).
+    fn pick(&self, seed: u64) -> u64 {
+        let r = mix64(seed);
+        ((r % self.n_vars) * ((r >> 32) % self.n_vars)) / self.n_vars
+    }
+}
+
+impl Workload for Bayes {
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.adj = ctx.alloc_lines(self.n_vars * self.n_vars * 8);
+        self.scores = ctx.alloc_lines(self.n_vars * 8);
+        self.accepted = ctx.alloc_lines(8);
+        for v in 0..self.n_vars {
+            ctx.poke(self.scores + v * 8, 1000);
+        }
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        for op in 0..self.ops_per_thread {
+            let seed = (tid as u64) << 20 | op;
+            let a = self.pick(seed);
+            let b = (self.pick(seed + 1) + 1 + a) % self.n_vars;
+            let n = self.n_vars;
+            let row_a = self.row(a);
+            let row_b = self.row(b);
+            let scores = self.scores;
+            let accepted = self.accepted;
+            let rewrite_row = op % 4 == 3;
+            let adj = self.adj;
+            let write_rows = (self.n_vars / 16).max(2);
+            let scan_rows = self.n_vars / 4;
+            ctx.txn(TxSite(80), |tx| {
+                // Score both candidate parent sets: read both full rows.
+                let mut sum = 0u64;
+                for i in 0..n {
+                    sum = sum.wrapping_add(tx.load(row_a + i * 8)?);
+                    sum = sum.wrapping_add(tx.load(row_b + i * 8)?);
+                }
+                tx.work(n * 6); // likelihood computation
+                // Toggle the edge a->b and update both scores.
+                let e = tx.load(row_a + b * 8)?;
+                tx.store(row_a + b * 8, 1 - e)?;
+                let sa = tx.load(scores + a * 8)?;
+                tx.store(scores + a * 8, sa.wrapping_add(sum % 17 + 1))?;
+                let sb = tx.load(scores + b * 8)?;
+                tx.store(scores + b * 8, sb.wrapping_add(sum % 13 + 1))?;
+                if rewrite_row {
+                    // Re-learn the parent sets of a block of variables:
+                    // rewrite several whole rows (the huge write sets the
+                    // paper attributes to bayes), then rescan half the
+                    // matrix to rescore — which sweeps the L1 and evicts
+                    // speculatively-written lines (transactional overflow).
+                    for r in 0..write_rows {
+                        let row = adj + ((a + r) % n) * n * 8;
+                        for i in 0..n {
+                            let cur = tx.load(row + i * 8)?;
+                            tx.store(row + i * 8, cur ^ u64::from(i % 7 == 0))?;
+                        }
+                    }
+                    let mut rescore = 0u64;
+                    for r in 0..scan_rows {
+                        let row = adj + ((b + r) % n) * n * 8;
+                        for i in 0..n {
+                            rescore = rescore.wrapping_add(tx.load(row + i * 8)?);
+                        }
+                    }
+                    tx.work(scan_rows * 4);
+                    let sa = tx.load(scores + a * 8)?;
+                    tx.store(scores + a * 8, sa.wrapping_add(rescore % 5))?;
+                }
+                let acc = tx.load(accepted)?;
+                tx.store(accepted, acc + 1)?;
+                Ok(())
+            });
+            ctx.work(200);
+        }
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        let total = self.threads as u64 * self.ops_per_thread;
+        assert_eq!(ctx.peek(self.accepted), total, "bayes proposals lost");
+        // Scores only ever grow: each proposal adds at least 1 to two
+        // entries.
+        let score_sum: u64 = (0..self.n_vars).map(|v| ctx.peek(self.scores + v * 8)).sum();
+        assert!(score_sum >= self.n_vars * 1000 + total * 2, "score updates lost");
+    }
+}

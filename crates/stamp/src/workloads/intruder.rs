@@ -1,0 +1,106 @@
+//! intruder — network intrusion detection (Table IV: short transactions,
+//! high contention).
+//!
+//! All threads drain a shared packet-fragment queue (the hot spot: every
+//! pop touches the queue header), reassembling flows in a shared map;
+//! completed flows are counted and "detected" with a burst of compute.
+
+use crate::ds::{TxHashMap, TxQueue};
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// Fragments per flow.
+const FRAGS: u64 = 4;
+
+/// The intruder workload.
+pub struct Intruder {
+    n_flows: u64,
+    queue: TxQueue,
+    flows: TxHashMap,
+    /// Completed-flow counter (hot word).
+    completed: Addr,
+    threads: usize,
+}
+
+impl Intruder {
+    /// Build at the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        let n_flows = match scale {
+            SuiteScale::Tiny => 48,
+            SuiteScale::Paper => 1024,
+        };
+        Intruder {
+            n_flows,
+            queue: TxQueue::placeholder(),
+            flows: TxHashMap::placeholder(),
+            completed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl Workload for Intruder {
+    fn name(&self) -> &'static str {
+        "intruder"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.queue = TxQueue::new(ctx, (self.n_flows * FRAGS * 2).next_power_of_two());
+        self.flows = TxHashMap::new(ctx, (self.n_flows * 4).next_power_of_two());
+        self.completed = ctx.alloc_lines(8);
+        // Interleave the fragments of all flows, as captured traffic would.
+        for frag in 0..FRAGS {
+            for flow in 0..self.n_flows {
+                // Encode (flow, fragment index).
+                self.queue.push_setup(ctx, (flow + 1) << 8 | frag);
+            }
+        }
+    }
+
+    fn run(&self, _tid: usize, ctx: &mut ThreadCtx) {
+        loop {
+            let queue = &self.queue;
+            let flows = &self.flows;
+            let completed = self.completed;
+            let mut drained = false;
+            let mut detected = false;
+            ctx.txn(TxSite(50), |tx| {
+                drained = false;
+                detected = false;
+                let Some(pkt) = queue.pop(tx)? else {
+                    drained = true;
+                    return Ok(());
+                };
+                let flow = pkt >> 8;
+                let frag = pkt & 0xff;
+                // Reassembly: set this fragment's bit in the flow mask.
+                let mask = flows.get(tx, flow)?.unwrap_or(0) | (1 << frag);
+                flows.insert(tx, flow, mask)?;
+                if mask.count_ones() as u64 == FRAGS {
+                    let n = tx.load(completed)?;
+                    tx.store(completed, n + 1)?;
+                    detected = true;
+                }
+                Ok(())
+            });
+            if drained {
+                break;
+            }
+            // Detection runs outside the transaction (per STAMP, the
+            // analysis of a reassembled packet is non-transactional work).
+            ctx.work(if detected { 250 } else { 80 });
+        }
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        assert_eq!(self.queue.len_setup(ctx), 0, "queue must drain");
+        assert_eq!(ctx.peek(self.completed), self.n_flows, "every flow completes once");
+        // Every flow mask is full.
+        for flow in 1..=self.n_flows {
+            assert_eq!(self.flows.get_setup(ctx, flow), Some((1 << FRAGS) - 1));
+        }
+    }
+}

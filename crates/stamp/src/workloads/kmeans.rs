@@ -1,0 +1,156 @@
+//! kmeans — clustering (Table IV: tiny transactions, low contention).
+//!
+//! Points are partitioned across threads; each point's nearest centroid
+//! is computed outside transactions (the coordinates are read-only during
+//! an iteration, like STAMP's), and only the accumulator update — `d`
+//! sums plus a count — runs transactionally. Between iterations a barrier
+//! separates the accumulation and recomputation phases.
+
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// The kmeans workload.
+pub struct KMeans {
+    n_points: u64,
+    dims: u64,
+    k: u64,
+    iterations: u64,
+    /// Point coordinates, `n_points * dims` words.
+    points: Addr,
+    /// Current centroid coordinates, `k * dims` words.
+    centroids: Addr,
+    /// Accumulators: per cluster, `dims` sums + 1 count.
+    accum: Addr,
+    threads: usize,
+}
+
+impl KMeans {
+    /// Build at the given scale (STAMP's `kmeans-low`: many clusters,
+    /// little sharing).
+    pub fn new(scale: SuiteScale) -> Self {
+        let (n_points, dims, k, iterations) = match scale {
+            SuiteScale::Tiny => (128, 4, 4, 2),
+            SuiteScale::Paper => (2048, 8, 16, 3),
+        };
+        KMeans { n_points, dims, k, iterations, points: 0, centroids: 0, accum: 0, threads: 0 }
+    }
+
+    /// STAMP's `kmeans-high` variant: far fewer clusters, so the
+    /// accumulator transactions collide constantly.
+    pub fn high_contention(scale: SuiteScale) -> Self {
+        let mut w = Self::new(scale);
+        w.k = match scale {
+            SuiteScale::Tiny => 2,
+            SuiteScale::Paper => 4,
+        };
+        w
+    }
+
+    fn accum_base(&self, c: u64) -> Addr {
+        self.accum + c * (self.dims + 1) * 8
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.points = ctx.alloc_lines(self.n_points * self.dims * 8);
+        self.centroids = ctx.alloc_lines(self.k * self.dims * 8);
+        self.accum = ctx.alloc_lines(self.k * (self.dims + 1) * 8);
+        // Deterministic pseudo-random coordinates in [0, 1024).
+        for p in 0..self.n_points {
+            for d in 0..self.dims {
+                let v = crate::ds::mix64(p * 131 + d) % 1024;
+                ctx.poke(self.points + (p * self.dims + d) * 8, v);
+            }
+        }
+        // Initial centroids: the first k points.
+        for c in 0..self.k {
+            for d in 0..self.dims {
+                let v = ctx.peek(self.points + (c * self.dims + d) * 8);
+                ctx.poke(self.centroids + (c * self.dims + d) * 8, v);
+            }
+        }
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        let per = self.n_points.div_ceil(self.threads as u64);
+        let lo = tid as u64 * per;
+        let hi = (lo + per).min(self.n_points);
+        for _iter in 0..self.iterations {
+            // Snapshot the centroids (read-only this phase).
+            let mut cents = vec![0u64; (self.k * self.dims) as usize];
+            for (i, c) in cents.iter_mut().enumerate() {
+                *c = ctx.load(self.centroids + i as u64 * 8);
+            }
+            for p in lo..hi {
+                // Nearest centroid (non-transactional compute).
+                let mut coords = vec![0u64; self.dims as usize];
+                for (d, x) in coords.iter_mut().enumerate() {
+                    *x = ctx.load(self.points + (p * self.dims + d as u64) * 8);
+                }
+                let mut best = 0u64;
+                let mut best_d = u64::MAX;
+                for c in 0..self.k {
+                    let mut dist = 0u64;
+                    for d in 0..self.dims {
+                        let cv = cents[(c * self.dims + d) as usize];
+                        let pv = coords[d as usize];
+                        dist += cv.abs_diff(pv).pow(2);
+                    }
+                    ctx.work(self.dims * 6);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                // Transactional accumulator update (the tiny transaction).
+                let base = self.accum_base(best);
+                let dims = self.dims;
+                ctx.txn(TxSite(10), |tx| {
+                    for d in 0..dims {
+                        let a = base + d * 8;
+                        let s = tx.load(a)?;
+                        tx.store(a, s + coords[d as usize])?;
+                    }
+                    let cnt = tx.load(base + dims * 8)?;
+                    tx.store(base + dims * 8, cnt + 1)?;
+                    Ok(())
+                });
+                ctx.work(150);
+            }
+            ctx.barrier();
+            if tid == 0 {
+                // Recompute centroids; keep the final iteration's counts
+                // for verification.
+                let last = _iter + 1 == self.iterations;
+                for c in 0..self.k {
+                    let base = self.accum_base(c);
+                    let n = ctx.load(base + self.dims * 8).max(1);
+                    for d in 0..self.dims {
+                        let s = ctx.load(base + d * 8);
+                        ctx.store(self.centroids + (c * self.dims + d) * 8, s / n);
+                        if !last {
+                            ctx.store(base + d * 8, 0);
+                        }
+                    }
+                    if !last {
+                        ctx.store(base + self.dims * 8, 0);
+                    }
+                }
+            }
+            ctx.barrier();
+        }
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        // Every point was assigned exactly once in the final iteration.
+        let total: u64 = (0..self.k).map(|c| ctx.peek(self.accum_base(c) + self.dims * 8)).sum();
+        assert_eq!(total, self.n_points, "kmeans lost assignments");
+    }
+}

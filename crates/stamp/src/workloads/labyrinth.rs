@@ -1,0 +1,170 @@
+//! labyrinth — Lee-style path routing on a 3-D grid (Table IV: the
+//! longest transactions of the suite, high contention).
+//!
+//! Each thread routes its share of (source, destination) requests. A
+//! whole route is one transaction: the router reads a corridor of cells
+//! around the candidate path (the expansion phase's big read set), then
+//! claims every cell of an L-shaped path. Conflicting routes abort and
+//! retry — the canonical coarse-grained TM workload.
+
+use crate::ds::{grid::FREE, mix64, TxGrid3};
+use crate::workloads::SuiteScale;
+use suv_sim::{Abort, SetupCtx, ThreadCtx, Tx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// The labyrinth workload.
+pub struct Labyrinth {
+    x: u64,
+    y: u64,
+    z: u64,
+    paths_per_thread: u64,
+    grid: TxGrid3,
+    /// Per-thread claimed-cell counters.
+    claimed: Addr,
+    threads: usize,
+}
+
+impl Labyrinth {
+    /// Build at the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        let (x, y, z, paths_per_thread) = match scale {
+            SuiteScale::Tiny => (16, 16, 2, 3),
+            SuiteScale::Paper => (64, 64, 3, 8),
+        };
+        Labyrinth {
+            x,
+            y,
+            z,
+            paths_per_thread,
+            grid: TxGrid3::placeholder(x, y, z),
+            claimed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Request `i` for thread `tid`: endpoints drawn from the whole grid.
+    fn request(&self, tid: usize, i: u64) -> ((u64, u64), (u64, u64), u64) {
+        let s = mix64((tid as u64) << 16 | i);
+        let src = (s % self.x, (s >> 16) % self.y);
+        let t = mix64(s);
+        let dst = (t % self.x, (t >> 16) % self.y);
+        let layer = (s >> 32) % self.z;
+        (src, dst, layer)
+    }
+
+    /// The cells of the L-shaped path from `src` to `dst` on `layer`,
+    /// bending at `(dst.0, src.1)` or `(src.0, dst.1)`.
+    fn l_path(src: (u64, u64), dst: (u64, u64), layer: u64, bend_first_x: bool) -> Vec<(u64, u64, u64)> {
+        let mut cells = Vec::new();
+        let (sx, sy) = src;
+        let (dx, dy) = dst;
+        let xs = |a: u64, b: u64| if a <= b { (a..=b).collect::<Vec<_>>() } else { (b..=a).rev().collect() };
+        if bend_first_x {
+            for x in xs(sx, dx) {
+                cells.push((x, sy, layer));
+            }
+            for y in xs(sy, dy) {
+                cells.push((dx, y, layer));
+            }
+        } else {
+            for y in xs(sy, dy) {
+                cells.push((sx, y, layer));
+            }
+            for x in xs(sx, dx) {
+                cells.push((x, dy, layer));
+            }
+        }
+        cells.dedup();
+        cells
+    }
+
+    /// Try to claim a path inside the transaction. Returns the number of
+    /// cells claimed (0 when blocked).
+    fn try_route(
+        &self,
+        tx: &mut Tx<'_>,
+        src: (u64, u64),
+        dst: (u64, u64),
+        layer: u64,
+        path_id: u64,
+    ) -> Result<u64, Abort> {
+        // Expansion phase (reads only) — the breadth-first wavefront that
+        // makes labyrinth the longest transactions of the suite: the full
+        // corridor along both legs plus a sampled sweep of the bounding
+        // box between the endpoints.
+        let x0 = src.0.min(dst.0);
+        let x1 = src.0.max(dst.0);
+        let y0 = src.1.min(dst.1);
+        let y1 = src.1.max(dst.1);
+        for x in x0..=x1 {
+            self.grid.read(tx, x, src.1, layer)?;
+            self.grid.read(tx, x, dst.1, layer)?;
+        }
+        for y in y0..=y1 {
+            self.grid.read(tx, src.0, y, layer)?;
+            self.grid.read(tx, dst.0, y, layer)?;
+        }
+        let mut y = y0;
+        while y <= y1 {
+            let mut x = x0;
+            while x <= x1 {
+                self.grid.read(tx, x, y, layer)?;
+                x += 4;
+            }
+            y += 2;
+        }
+        tx.work((x1 - x0 + 1) * (y1 - y0 + 1) / 2);
+        // Claim phase: try both L bends.
+        'bends: for bend in [true, false] {
+            let cells = Self::l_path(src, dst, layer, bend);
+            for &(cx, cy, cz) in &cells {
+                if self.grid.read(tx, cx, cy, cz)? != FREE {
+                    continue 'bends;
+                }
+            }
+            for &(cx, cy, cz) in &cells {
+                self.grid.write(tx, cx, cy, cz, path_id)?;
+            }
+            return Ok(cells.len() as u64);
+        }
+        Ok(0)
+    }
+}
+
+impl Workload for Labyrinth {
+    fn name(&self) -> &'static str {
+        "labyrinth"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.grid = TxGrid3::new(ctx, self.x, self.y, self.z);
+        self.claimed = ctx.alloc_lines(self.threads as u64 * 64);
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        let mut claimed = 0u64;
+        for i in 0..self.paths_per_thread {
+            let (src, dst, layer) = self.request(tid, i);
+            let path_id = ((tid as u64) << 32) | (i + 1);
+            let mut got = 0;
+            ctx.txn(TxSite(60), |tx| {
+                got = self.try_route(tx, src, dst, layer, path_id)?;
+                Ok(())
+            });
+            claimed += got;
+            ctx.work(100);
+        }
+        ctx.store(self.claimed + tid as u64 * 64, claimed);
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        let claimed: u64 =
+            (0..self.threads as u64).map(|t| ctx.peek(self.claimed + t * 64)).sum();
+        let total = self.x * self.y * self.z;
+        let free = self.grid.count_setup(ctx, FREE);
+        assert_eq!(total - free, claimed, "claimed cells must match path bookkeeping");
+        assert!(claimed > 0, "no path was routed");
+    }
+}

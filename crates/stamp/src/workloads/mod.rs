@@ -1,0 +1,187 @@
+//! The eight STAMP applications and their registry.
+
+pub mod bayes;
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod ssca2;
+pub mod vacation;
+pub mod yada;
+
+use suv_sim::Workload;
+
+/// Input scale: `Tiny` for unit/integration tests (seconds on a 4-core
+/// test machine), `Paper` for figure generation (the scaled equivalents
+/// of Table IV's inputs on the 16-core machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Small inputs for fast tests.
+    Tiny,
+    /// Figure-generation inputs.
+    Paper,
+}
+
+/// Workload names in Figure 6's order.
+pub const WORKLOAD_NAMES: [&str; 8] =
+    ["bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"];
+
+/// The five high-contention applications the paper calls out.
+pub const HIGH_CONTENTION: [&str; 5] = ["bayes", "genome", "intruder", "labyrinth", "yada"];
+
+/// Build a workload by name.
+pub fn by_name(name: &str, scale: SuiteScale) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "bayes" => Box::new(bayes::Bayes::new(scale)),
+        "genome" => Box::new(genome::Genome::new(scale)),
+        "intruder" => Box::new(intruder::Intruder::new(scale)),
+        "kmeans" => Box::new(kmeans::KMeans::new(scale)),
+        "labyrinth" => Box::new(labyrinth::Labyrinth::new(scale)),
+        "ssca2" => Box::new(ssca2::Ssca2::new(scale)),
+        "vacation" => Box::new(vacation::Vacation::new(scale)),
+        "yada" => Box::new(yada::Yada::new(scale)),
+        // STAMP's published high-contention parameterizations of the two
+        // low-contention apps (not part of the Figure 6 eight).
+        "kmeans-high" => Box::new(kmeans::KMeans::high_contention(scale)),
+        "vacation-high" => Box::new(vacation::Vacation::high_contention(scale)),
+        _ => return None,
+    })
+}
+
+/// All eight applications.
+pub fn stamp_suite(scale: SuiteScale) -> Vec<Box<dyn Workload>> {
+    WORKLOAD_NAMES.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+}
+
+/// The five high-contention applications.
+pub fn high_contention_suite(scale: SuiteScale) -> Vec<Box<dyn Workload>> {
+    HIGH_CONTENTION.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suv_sim::run_workload;
+    use suv_types::{MachineConfig, SchemeKind};
+
+    #[test]
+    fn registry_complete() {
+        assert_eq!(stamp_suite(SuiteScale::Tiny).len(), 8);
+        assert_eq!(high_contention_suite(SuiteScale::Tiny).len(), 5);
+        assert!(by_name("nonexistent", SuiteScale::Tiny).is_none());
+        for n in WORKLOAD_NAMES {
+            assert_eq!(by_name(n, SuiteScale::Tiny).unwrap().name(), n);
+        }
+    }
+
+    /// Run one workload under one scheme on the small test machine; the
+    /// workload's own `verify` checks functional correctness.
+    fn smoke(name: &str, scheme: SchemeKind) -> suv_sim::RunResult {
+        let cfg = MachineConfig::small_test();
+        let mut w = by_name(name, SuiteScale::Tiny).unwrap();
+        let r = run_workload(&cfg, scheme, w.as_mut());
+        assert!(r.stats.tx.commits > 0, "{name}/{scheme:?}: no transaction committed");
+        assert!(r.stats.cycles > 0);
+        r
+    }
+
+    // Every workload must verify under the three Figure 6 schemes.
+    #[test]
+    fn bayes_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("bayes", s);
+        }
+    }
+    #[test]
+    fn genome_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("genome", s);
+        }
+    }
+    #[test]
+    fn intruder_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("intruder", s);
+        }
+    }
+    #[test]
+    fn kmeans_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("kmeans", s);
+        }
+    }
+    #[test]
+    fn labyrinth_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("labyrinth", s);
+        }
+    }
+    #[test]
+    fn ssca2_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("ssca2", s);
+        }
+    }
+    #[test]
+    fn vacation_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("vacation", s);
+        }
+    }
+    #[test]
+    fn yada_all_schemes() {
+        for s in SchemeKind::FIG6 {
+            smoke("yada", s);
+        }
+    }
+
+    // DynTM variants over the high-contention suite (Figure 9's subjects).
+    #[test]
+    fn dyntm_variants_on_high_contention() {
+        for name in HIGH_CONTENTION {
+            for s in SchemeKind::FIG9 {
+                smoke(name, s);
+            }
+        }
+    }
+
+    #[test]
+    fn high_contention_variants_verify_and_conflict_more() {
+        let base_k = smoke("kmeans", SchemeKind::SuvTm);
+        let hi_k = smoke("kmeans-high", SchemeKind::SuvTm);
+        let rate = |r: &suv_sim::RunResult| {
+            (r.stats.tx.nacks_received + r.stats.tx.aborts) as f64
+                / r.stats.tx.commits.max(1) as f64
+        };
+        assert!(rate(&hi_k) > rate(&base_k), "kmeans-high must conflict more");
+        let base_v = smoke("vacation", SchemeKind::SuvTm);
+        let hi_v = smoke("vacation-high", SchemeKind::SuvTm);
+        assert!(rate(&hi_v) > rate(&base_v), "vacation-high must conflict more");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a = smoke("intruder", SchemeKind::SuvTm);
+        let b = smoke("intruder", SchemeKind::SuvTm);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.tx.aborts, b.stats.tx.aborts);
+    }
+
+    #[test]
+    fn contention_classes_differ() {
+        // The high-contention apps must show materially more conflict
+        // activity per committed transaction than the low-contention ones.
+        let hot = smoke("intruder", SchemeKind::LogTmSe);
+        let cold = smoke("ssca2", SchemeKind::LogTmSe);
+        let rate = |r: &suv_sim::RunResult| {
+            (r.stats.tx.nacks_received + r.stats.tx.aborts) as f64
+                / r.stats.tx.commits.max(1) as f64
+        };
+        assert!(
+            rate(&hot) > rate(&cold),
+            "intruder ({}) must out-conflict ssca2 ({})",
+            rate(&hot),
+            rate(&cold)
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! ssca2 — graph kernel 1, edge insertion (Table IV: the shortest
+//! transactions of the suite, low contention).
+//!
+//! Threads cooperatively build the adjacency structure of a scale-free
+//! (R-MAT-flavoured) graph: one tiny transaction per edge appends to the
+//! target node's adjacency slots and bumps its degree counter.
+
+use crate::ds::mix64;
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// Adjacency slots per node.
+const SLOTS: u64 = 16;
+
+/// The ssca2 workload.
+pub struct Ssca2 {
+    n_nodes: u64,
+    n_edges: u64,
+    /// Per node: degree word + SLOTS adjacency words, line-padded.
+    adj: Addr,
+    /// Per-thread inserted-edge counters (one line apart).
+    inserted: Addr,
+    threads: usize,
+}
+
+/// Words per node record (padded to whole lines).
+const NODE_WORDS: u64 = SLOTS + 8 - (SLOTS + 1) % 8;
+
+impl Ssca2 {
+    /// Build at the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        let (n_nodes, n_edges) = match scale {
+            SuiteScale::Tiny => (128, 384),
+            SuiteScale::Paper => (4096, 12288),
+        };
+        Ssca2 { n_nodes, n_edges, adj: 0, inserted: 0, threads: 0 }
+    }
+
+    /// R-MAT-ish endpoint pair for edge `i` (biased towards low ids).
+    fn edge(&self, i: u64) -> (u64, u64) {
+        let h = mix64(i * 2 + 1);
+        let g = mix64(i * 2 + 2);
+        // Square the uniform draw to concentrate on low node ids
+        // (scale-free degree distribution flavour).
+        let u = ((h % self.n_nodes) * (h / 7 % self.n_nodes)) / self.n_nodes;
+        let v = g % self.n_nodes;
+        (u, v)
+    }
+
+    fn node_base(&self, u: u64) -> Addr {
+        self.adj + u * NODE_WORDS * 8
+    }
+}
+
+impl Workload for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.adj = ctx.alloc_lines(self.n_nodes * NODE_WORDS * 8);
+        self.inserted = ctx.alloc_lines(self.threads as u64 * 64);
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        let per = self.n_edges.div_ceil(self.threads as u64);
+        let lo = tid as u64 * per;
+        let hi = (lo + per).min(self.n_edges);
+        let my_counter = self.inserted + tid as u64 * 64;
+        let mut added = 0u64;
+        for i in lo..hi {
+            let (u, v) = self.edge(i);
+            let base = self.node_base(u);
+            let mut ok = false;
+            ctx.txn(TxSite(20), |tx| {
+                let deg = tx.load(base)?;
+                ok = deg < SLOTS;
+                if ok {
+                    tx.store(base + (1 + deg) * 8, v + 1)?;
+                    tx.store(base, deg + 1)?;
+                }
+                Ok(())
+            });
+            if ok {
+                added += 1;
+            }
+            ctx.work(10);
+        }
+        ctx.store(my_counter, added);
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        let claimed: u64 = (0..self.threads as u64).map(|t| ctx.peek(self.inserted + t * 64)).sum();
+        let degrees: u64 = (0..self.n_nodes).map(|u| ctx.peek(self.node_base(u))).sum();
+        assert_eq!(claimed, degrees, "ssca2 edge count mismatch");
+        assert!(degrees > 0, "no edges were inserted");
+    }
+}

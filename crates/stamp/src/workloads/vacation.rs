@@ -1,0 +1,139 @@
+//! vacation — travel reservation system (Table IV: medium transactions,
+//! low contention).
+//!
+//! Three inventory tables (cars, flights, rooms) plus a customer table,
+//! all transactional hash maps. Each client transaction performs several
+//! queries and reservations atomically, mirroring STAMP's
+//! `MakeReservation` action (`-q60 -u90`-style mix).
+
+use crate::ds::{mix64, TxHashMap};
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// The vacation workload.
+pub struct Vacation {
+    n_items: u64,
+    txns_per_thread: u64,
+    queries_per_txn: u64,
+    initial_stock: u64,
+    tables: [TxHashMap; 3],
+    customers: TxHashMap,
+    /// Per-thread successful-reservation counters.
+    reserved: Addr,
+    threads: usize,
+}
+
+impl Vacation {
+    /// Build at the given scale (STAMP's `vacation-low` mix).
+    pub fn new(scale: SuiteScale) -> Self {
+        let (n_items, txns_per_thread, queries_per_txn) = match scale {
+            SuiteScale::Tiny => (64, 16, 3),
+            SuiteScale::Paper => (1024, 96, 4),
+        };
+        // Placeholder maps; real ones are allocated in setup.
+        Vacation {
+            n_items,
+            txns_per_thread,
+            queries_per_txn,
+            initial_stock: 10,
+            tables: [TxHashMap::placeholder(); 3],
+            customers: TxHashMap::placeholder(),
+            reserved: 0,
+            threads: 0,
+        }
+    }
+
+    /// STAMP's `vacation-high` mix: a much smaller inventory and more
+    /// queries per reservation, so transactions overlap heavily.
+    pub fn high_contention(scale: SuiteScale) -> Self {
+        let mut w = Self::new(scale);
+        w.n_items = match scale {
+            SuiteScale::Tiny => 8,
+            SuiteScale::Paper => 64,
+        };
+        w.queries_per_txn += 4;
+        w
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &'static str {
+        "vacation"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        let cap = (self.n_items * 4).next_power_of_two();
+        for t in &mut self.tables {
+            *t = TxHashMap::new(ctx, cap);
+        }
+        let n_customers = self.threads as u64 * self.txns_per_thread;
+        self.customers = TxHashMap::new(ctx, (n_customers * 2).next_power_of_two());
+        self.reserved = ctx.alloc_lines(self.threads as u64 * 64);
+        for table in &self.tables {
+            for item in 1..=self.n_items {
+                table.insert_setup(ctx, item, self.initial_stock);
+            }
+        }
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        let mut made = 0u64;
+        for t in 0..self.txns_per_thread {
+            let seed = mix64((tid as u64) << 32 | t);
+            let customer = (tid as u64) * self.txns_per_thread + t + 1;
+            let tables = &self.tables;
+            let customers = &self.customers;
+            let n_items = self.n_items;
+            let q = self.queries_per_txn;
+            let mut got = 0u64;
+            ctx.txn(TxSite(30), |tx| {
+                got = 0;
+                // Query phase: look q candidate items up across tables,
+                // remembering the best (highest availability) per table.
+                let mut picks = [0u64; 3];
+                let mut avail = [0u64; 3];
+                for i in 0..q {
+                    let which = (mix64(seed + i * 3) % 3) as usize;
+                    let item = mix64(seed + i * 7) % n_items + 1;
+                    if let Some(a) = tables[which].get(tx, item)? {
+                        tx.work(8);
+                        if a > avail[which] {
+                            avail[which] = a;
+                            picks[which] = item;
+                        }
+                    }
+                }
+                // Reserve phase: take the picked items that are in stock.
+                for which in 0..3 {
+                    if picks[which] != 0 && avail[which] > 0 {
+                        tables[which].insert(tx, picks[which], avail[which] - 1)?;
+                        got += 1;
+                    }
+                }
+                if got > 0 {
+                    let prev = customers.get(tx, customer)?.unwrap_or(0);
+                    customers.insert(tx, customer, prev + got)?;
+                }
+                Ok(())
+            });
+            made += got;
+            ctx.work(50);
+        }
+        ctx.store(self.reserved + tid as u64 * 64, made);
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        // Inventory conservation: stock removed == reservations recorded.
+        let initial_total = 3 * self.n_items * self.initial_stock;
+        let remaining: u64 = self.tables.iter().map(|t| t.sum_values_setup(ctx)).sum();
+        let by_customers = self.customers.sum_values_setup(ctx);
+        let by_threads: u64 =
+            (0..self.threads as u64).map(|t| ctx.peek(self.reserved + t * 64)).sum();
+        assert_eq!(initial_total - remaining, by_customers, "vacation inventory leak");
+        assert_eq!(by_customers, by_threads, "customer records inconsistent");
+        assert!(by_customers > 0, "no reservations were made");
+    }
+}

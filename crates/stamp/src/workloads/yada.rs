@@ -1,0 +1,133 @@
+//! yada — Delaunay mesh refinement (Table IV: medium-long transactions,
+//! high contention).
+//!
+//! A shared work queue feeds "bad" triangles to all threads. Refining one
+//! triangle reads its cavity (a neighbourhood of mesh records), rewrites
+//! several records, and may push follow-up work — the retriangulation
+//! cascades that make yada's transactions long and conflict-prone.
+
+use crate::ds::{mix64, TxQueue};
+use crate::workloads::SuiteScale;
+use suv_sim::{SetupCtx, ThreadCtx, Workload};
+use suv_types::{Addr, TxSite};
+
+/// Words per triangle record: quality + three "vertex" words.
+const TRI_WORDS: u64 = 4;
+/// Cavity radius: how many neighbouring records a refinement touches.
+const CAVITY: u64 = 6;
+/// Maximum regeneration depth for follow-up work.
+const MAX_GEN: u64 = 2;
+
+/// The yada workload.
+pub struct Yada {
+    n_triangles: u64,
+    initial_bad: u64,
+    mesh: Addr,
+    queue: TxQueue,
+    /// Processed-refinement counter (hot word).
+    processed: Addr,
+    threads: usize,
+}
+
+impl Yada {
+    /// Build at the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        let (n_triangles, initial_bad) = match scale {
+            SuiteScale::Tiny => (128, 24),
+            SuiteScale::Paper => (4096, 512),
+        };
+        Yada {
+            n_triangles,
+            initial_bad,
+            mesh: 0,
+            queue: TxQueue::placeholder(),
+            processed: 0,
+            threads: 0,
+        }
+    }
+
+    fn tri(&self, id: u64) -> Addr {
+        self.mesh + (id % self.n_triangles) * TRI_WORDS * 8
+    }
+}
+
+impl Workload for Yada {
+    fn name(&self) -> &'static str {
+        "yada"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.threads = ctx.n_cores();
+        self.mesh = ctx.alloc_lines(self.n_triangles * TRI_WORDS * 8);
+        // Follow-up work can at most double per generation.
+        let cap = (self.initial_bad * (1 << (MAX_GEN + 1))).next_power_of_two();
+        self.queue = TxQueue::new(ctx, cap);
+        self.processed = ctx.alloc_lines(8);
+        for id in 0..self.n_triangles {
+            ctx.poke(self.tri(id), 100 + mix64(id) % 50); // quality
+            for v in 1..TRI_WORDS {
+                ctx.poke(self.tri(id) + v * 8, mix64(id * 4 + v));
+            }
+        }
+        // Seed the queue with bad triangles spread over the mesh;
+        // value encodes (generation << 32 | id).
+        for i in 0..self.initial_bad {
+            let id = mix64(i * 7 + 3) % self.n_triangles;
+            self.queue.push_setup(ctx, id);
+        }
+    }
+
+    fn run(&self, _tid: usize, ctx: &mut ThreadCtx) {
+        loop {
+            let queue = &self.queue;
+            let processed = self.processed;
+            let mut drained = false;
+            ctx.txn(TxSite(70), |tx| {
+                drained = false;
+                let Some(item) = queue.pop(tx)? else {
+                    drained = true;
+                    return Ok(());
+                };
+                let generation = item >> 32;
+                let id = item & 0xffff_ffff;
+                // Read the cavity around the bad triangle.
+                let mut acc = 0u64;
+                for k in 0..CAVITY {
+                    let n = self.tri(id + k * 17);
+                    acc = acc.wrapping_add(tx.load(n)?);
+                    acc = acc.wrapping_add(tx.load(n + 8)?);
+                }
+                tx.work(CAVITY * 12);
+                // Retriangulate: rewrite a few records, improving quality.
+                for k in 0..3 {
+                    let n = self.tri(id + k * 17);
+                    let q = tx.load(n)?;
+                    tx.store(n, q + 10)?;
+                    tx.store(n + 16, acc ^ (id + k))?;
+                }
+                // Cascade: poor-quality results respawn bounded work.
+                if generation < MAX_GEN && acc.is_multiple_of(3) {
+                    queue.push(tx, ((generation + 1) << 32) | ((id + 29) % self.n_triangles))?;
+                }
+                let n = tx.load(processed)?;
+                tx.store(processed, n + 1)?;
+                Ok(())
+            });
+            if drained {
+                break;
+            }
+            ctx.work(120);
+        }
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        assert_eq!(self.queue.len_setup(ctx), 0, "work queue must drain");
+        let processed = ctx.peek(self.processed);
+        assert!(processed >= self.initial_bad, "every seeded triangle refined");
+        // Each refinement raised three records' quality by exactly 10.
+        let q_sum: u64 = (0..self.n_triangles).map(|id| ctx.peek(self.tri(id))).sum();
+        let base: u64 = (0..self.n_triangles).map(|id| 100 + mix64(id) % 50).sum();
+        assert_eq!(q_sum - base, processed * 30, "quality delta inconsistent");
+    }
+}

@@ -1,0 +1,105 @@
+//! Address arithmetic.
+//!
+//! The simulated machine uses a flat 64-bit physical address space. The unit
+//! of coherence and conflict detection is a 64-byte cache line (as in the
+//! paper: "SUV-TM detects conflicts at the granularity of a cache-line (i.e.,
+//! 64 bytes)"). The unit of data access exposed to workloads is a 64-bit
+//! word; this keeps the functional memory model simple without affecting any
+//! timing property, since all timing is computed at line granularity.
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;
+
+/// A line-aligned byte address (low [`LINE_SHIFT`] bits zero).
+pub type LineAddr = u64;
+
+/// A page-aligned byte address (low [`PAGE_SHIFT`] bits zero).
+pub type PageAddr = u64;
+
+/// log2 of the cache line size.
+pub const LINE_SHIFT: u32 = 6;
+/// Cache line size in bytes (64, per Table III).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+/// Bytes per simulated machine word.
+pub const WORD_BYTES: u64 = 8;
+/// Words per cache line.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+/// log2 of the page size used by the redirect pool allocator.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes (4 KiB).
+pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+
+/// Line-aligned address containing `a`.
+#[inline]
+pub const fn line_of(a: Addr) -> LineAddr {
+    a & !(LINE_BYTES - 1)
+}
+
+/// Page-aligned address containing `a`.
+#[inline]
+pub const fn page_of(a: Addr) -> PageAddr {
+    a & !(PAGE_BYTES - 1)
+}
+
+/// Word-aligned address containing `a`.
+#[inline]
+pub const fn word_of(a: Addr) -> Addr {
+    a & !(WORD_BYTES - 1)
+}
+
+/// Index of the word within its line (0..[`WORDS_PER_LINE`]).
+#[inline]
+pub const fn word_index_in_line(a: Addr) -> usize {
+    ((a & (LINE_BYTES - 1)) / WORD_BYTES) as usize
+}
+
+/// Byte offset of `a` within its line.
+#[inline]
+pub const fn line_offset_bytes(a: Addr) -> u64 {
+    a & (LINE_BYTES - 1)
+}
+
+/// Sequential line number (line address divided by the line size); handy as
+/// a dense key for tables indexed by line.
+#[inline]
+pub const fn line_index(a: Addr) -> u64 {
+    a >> LINE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(0x1000_0047), 0x1000_0040);
+        assert_eq!(line_index(0x80), 2);
+    }
+
+    #[test]
+    fn word_math() {
+        assert_eq!(word_of(0x17), 0x10);
+        assert_eq!(word_index_in_line(0x0), 0);
+        assert_eq!(word_index_in_line(0x8), 1);
+        assert_eq!(word_index_in_line(0x38), 7);
+        assert_eq!(word_index_in_line(0x48), 1);
+    }
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_of(0x1fff), 0x1000);
+        assert_eq!(page_of(0x2000), 0x2000);
+        assert_eq!(PAGE_BYTES / LINE_BYTES, 64);
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(LINE_BYTES, 64);
+        assert_eq!(WORDS_PER_LINE, 8);
+        assert_eq!(1u64 << LINE_SHIFT, LINE_BYTES);
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_BYTES);
+    }
+}

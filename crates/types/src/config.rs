@@ -1,0 +1,370 @@
+//! Machine and HTM configuration.
+//!
+//! [`MachineConfig::default`] reproduces Table III of the paper:
+//!
+//! | Component       | Paper value                                          |
+//! |-----------------|------------------------------------------------------|
+//! | Processor core  | 1.2 GHz in-order, single issue                       |
+//! | L1 cache        | 32 KB 4-way, 64-byte line, write-back, 1-cycle       |
+//! | L2 cache        | 8 MB 8-way, write-back, 15-cycle                     |
+//! | Main memory     | 4 GB, 4 banks, 150-cycle                             |
+//! | L2 directory    | bit vector of sharers, 6-cycle                       |
+//! | Interconnect    | mesh, 2-cycle wire latency, 1-cycle route latency    |
+//! | Signature       | 2 Kbit Bloom filters                                 |
+//! | 1st-level table | 512-entry zero-latency fully-associative             |
+//! | 2nd-level table | 10-cycle latency, 16384-entry 8-way, shared          |
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access (hit) latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheGeom {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize
+    }
+
+    /// Paper L1: 32 KB, 4-way, 64-byte line, 1-cycle.
+    pub fn l1_default() -> Self {
+        CacheGeom { capacity_bytes: 32 * 1024, ways: 4, line_bytes: 64, latency: 1 }
+    }
+
+    /// Paper L2: 8 MB, 8-way, 64-byte line, 15-cycle.
+    pub fn l2_default() -> Self {
+        CacheGeom { capacity_bytes: 8 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 15 }
+    }
+}
+
+/// Conflict-resolution policy. The paper uses the LogTM *Stall* policy
+/// ("stalling the requester and avoiding any possible cyclical dependence
+/// among those stalled transactions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// NACKed requester stalls and retries; LogTM possible-cycle rule aborts
+    /// the younger transaction to break potential deadlocks.
+    #[default]
+    Stall,
+    /// NACKed requester immediately aborts itself (requester-loses).
+    RequesterAborts,
+}
+
+/// Randomized exponential backoff applied after an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Mean of the first backoff window, in cycles.
+    pub base: u64,
+    /// Multiplier applied per consecutive abort of the same transaction.
+    pub multiplier: u64,
+    /// Upper bound on the backoff window.
+    pub cap: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig { base: 40, multiplier: 2, cap: 4096 }
+    }
+}
+
+/// HTM framework parameters common to every version-management scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtmConfig {
+    /// Bits in each read/write Bloom-filter signature (2 Kbit in the paper).
+    pub signature_bits: usize,
+    /// Number of hash functions per signature.
+    pub signature_hashes: usize,
+    /// Cycles to take a register checkpoint at transaction begin.
+    pub checkpoint_cycles: u64,
+    /// Cycles to restore the register checkpoint on abort.
+    pub restore_cycles: u64,
+    /// Fixed cost of trapping into the software abort handler (LogTM-SE
+    /// walks the undo log in software).
+    pub software_trap_cycles: u64,
+    /// Interval between retries of a NACKed (stalled) request.
+    pub retry_interval: u64,
+    /// Conflict-resolution policy.
+    pub policy: ConflictPolicy,
+    /// Post-abort randomized exponential backoff.
+    pub backoff: BackoffConfig,
+    /// Maximum supported nesting depth (stacked frames, LogTM-Nested style).
+    pub max_nest_depth: usize,
+    /// Ablation: replace the Bloom-filter signatures with exact sets
+    /// (physically unrealizable; isolates the cost of false conflicts).
+    pub perfect_signatures: bool,
+    /// Closed nesting with partial abort (LogTM-Nested stacked frames)
+    /// for version managers that support it; `false` flattens all
+    /// nesting into the outermost transaction.
+    pub partial_nesting: bool,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            signature_bits: 2048,
+            signature_hashes: 4,
+            checkpoint_cycles: 4,
+            restore_cycles: 4,
+            software_trap_cycles: 100,
+            retry_interval: 20,
+            policy: ConflictPolicy::Stall,
+            backoff: BackoffConfig::default(),
+            max_nest_depth: 8,
+            perfect_signatures: false,
+            partial_nesting: true,
+        }
+    }
+}
+
+/// SUV redirect-table parameters (Table III, bottom rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuvConfig {
+    /// Entries in the per-core first-level fully-associative redirect table.
+    pub l1_entries: usize,
+    /// Access latency of the first-level table ("zero-latency" in the paper:
+    /// the fully-associative lookup is folded into the pipeline).
+    pub l1_latency: u64,
+    /// Entries in the shared second-level redirect table.
+    pub l2_entries: usize,
+    /// Associativity of the second-level table.
+    pub l2_ways: usize,
+    /// Access latency of the second-level table.
+    pub l2_latency: u64,
+    /// Cycles to search swapped-out entries in main memory on a full
+    /// two-level miss (software-managed routine).
+    pub mem_search_cycles: u64,
+    /// Cycles to allocate a fresh page in the preserved redirect pool
+    /// (hardware-managed, charged once per page).
+    pub pool_page_alloc_cycles: u64,
+    /// Bits in the redirect summary signature (and its once-written
+    /// companion bit-vector), 2 Kbit each in the paper.
+    pub summary_bits: usize,
+    /// Hash functions used by the summary signature.
+    pub summary_hashes: usize,
+}
+
+impl Default for SuvConfig {
+    fn default() -> Self {
+        SuvConfig {
+            l1_entries: 512,
+            l1_latency: 0,
+            l2_entries: 16384,
+            l2_ways: 8,
+            l2_latency: 10,
+            mem_search_cycles: 150,
+            pool_page_alloc_cycles: 30,
+            summary_bits: 2048,
+            summary_hashes: 2,
+        }
+    }
+}
+
+/// DynTM selector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynTmConfig {
+    /// Number of entries in the per-site predictor table.
+    pub predictor_sites: usize,
+    /// Saturating-counter threshold at or above which a site runs lazy.
+    /// Counters saturate at 3; aborts increment, commits decrement.
+    pub lazy_threshold: u8,
+    /// Cycles to acquire commit permission (arbitration) for a lazy commit.
+    pub commit_arbitration_cycles: u64,
+}
+
+impl Default for DynTmConfig {
+    fn default() -> Self {
+        DynTmConfig { predictor_sites: 1024, lazy_threshold: 2, commit_arbitration_cycles: 20 }
+    }
+}
+
+/// Which HTM scheme a simulation runs. Mirrors the paper's comparison set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// LogTM-SE: eager VM via undo log + in-place update; software abort walk.
+    LogTmSe,
+    /// FasTM: L1-resident speculative values, fast abort, degenerates to
+    /// LogTM-SE on L1 overflow.
+    FasTm,
+    /// SUV-TM: single-update redirection (the paper's contribution).
+    SuvTm,
+    /// DynTM with its original FasTM-based version management.
+    DynTm,
+    /// DynTM with SUV replacing the version-management scheme ("D+S").
+    DynTmSuv,
+    /// Pure lazy (TCC-like) versioning; used as an ablation baseline.
+    Lazy,
+}
+
+impl SchemeKind {
+    /// Short label used in figures (matches the paper's L/F/S/D/D+S keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::LogTmSe => "L",
+            SchemeKind::FasTm => "F",
+            SchemeKind::SuvTm => "S",
+            SchemeKind::DynTm => "D",
+            SchemeKind::DynTmSuv => "D+S",
+            SchemeKind::Lazy => "TCC",
+        }
+    }
+
+    /// Full human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::LogTmSe => "LogTM-SE",
+            SchemeKind::FasTm => "FasTM",
+            SchemeKind::SuvTm => "SUV-TM",
+            SchemeKind::DynTm => "DynTM",
+            SchemeKind::DynTmSuv => "DynTM+SUV",
+            SchemeKind::Lazy => "Lazy(TCC)",
+        }
+    }
+
+    /// All schemes compared in Figure 6.
+    pub const FIG6: [SchemeKind; 3] = [SchemeKind::LogTmSe, SchemeKind::FasTm, SchemeKind::SuvTm];
+    /// Schemes compared in Figure 9.
+    pub const FIG9: [SchemeKind; 2] = [SchemeKind::DynTm, SchemeKind::DynTmSuv];
+}
+
+/// Full machine configuration (Table III plus HTM/SUV/DynTM knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (16 in the paper, arranged in a 4x4 mesh).
+    pub n_cores: usize,
+    /// L1 data cache geometry.
+    pub l1: CacheGeom,
+    /// Shared L2 geometry.
+    pub l2: CacheGeom,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// Number of interleaved memory banks / controllers.
+    pub mem_banks: usize,
+    /// Directory lookup latency in cycles.
+    pub dir_latency: u64,
+    /// Per-hop wire latency of the mesh.
+    pub noc_wire_latency: u64,
+    /// Per-hop route (switch) latency of the mesh.
+    pub noc_route_latency: u64,
+    /// Whether the NoC models per-link occupancy (queuing) in addition to
+    /// the base hop latency.
+    pub noc_contention: bool,
+    /// HTM framework parameters.
+    pub htm: HtmConfig,
+    /// SUV redirect-table parameters.
+    pub suv: SuvConfig,
+    /// DynTM selector parameters.
+    pub dyntm: DynTmConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_cores: 16,
+            l1: CacheGeom::l1_default(),
+            l2: CacheGeom::l2_default(),
+            mem_latency: 150,
+            mem_banks: 4,
+            dir_latency: 6,
+            noc_wire_latency: 2,
+            noc_route_latency: 1,
+            noc_contention: false,
+            htm: HtmConfig::default(),
+            suv: SuvConfig::default(),
+            dyntm: DynTmConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A scaled-down machine useful for fast unit tests: 4 cores, small
+    /// caches and tables, but the same latencies and protocol behaviour.
+    #[allow(clippy::field_reassign_with_default)] // clearer as deltas from Table III
+    pub fn small_test() -> Self {
+        let mut c = MachineConfig::default();
+        c.n_cores = 4;
+        c.l1 = CacheGeom { capacity_bytes: 4 * 1024, ways: 2, line_bytes: 64, latency: 1 };
+        c.l2 = CacheGeom { capacity_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 15 };
+        c.suv.l1_entries = 32;
+        c.suv.l2_entries = 256;
+        c
+    }
+
+    /// Mesh side length: the smallest square that fits `n_cores`.
+    pub fn mesh_side(&self) -> usize {
+        let mut s = 1;
+        while s * s < self.n_cores {
+            s += 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = MachineConfig::default();
+        assert_eq!(c.n_cores, 16);
+        assert_eq!(c.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l1.latency, 1);
+        assert_eq!(c.l2.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2.latency, 15);
+        assert_eq!(c.mem_latency, 150);
+        assert_eq!(c.mem_banks, 4);
+        assert_eq!(c.dir_latency, 6);
+        assert_eq!(c.noc_wire_latency, 2);
+        assert_eq!(c.noc_route_latency, 1);
+        assert_eq!(c.htm.signature_bits, 2048);
+        assert_eq!(c.suv.l1_entries, 512);
+        assert_eq!(c.suv.l1_latency, 0);
+        assert_eq!(c.suv.l2_entries, 16384);
+        assert_eq!(c.suv.l2_ways, 8);
+        assert_eq!(c.suv.l2_latency, 10);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = CacheGeom::l1_default();
+        assert_eq!(l1.sets(), 128); // 32KB / (4 * 64B)
+        assert_eq!(l1.lines(), 512);
+        let l2 = CacheGeom::l2_default();
+        assert_eq!(l2.sets(), 16384);
+    }
+
+    #[test]
+    fn mesh_side_is_square() {
+        let c = MachineConfig::default();
+        assert_eq!(c.mesh_side(), 4);
+        let mut c2 = c;
+        c2.n_cores = 4;
+        assert_eq!(c2.mesh_side(), 2);
+        c2.n_cores = 5;
+        assert_eq!(c2.mesh_side(), 3);
+        c2.n_cores = 1;
+        assert_eq!(c2.mesh_side(), 1);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(SchemeKind::LogTmSe.label(), "L");
+        assert_eq!(SchemeKind::SuvTm.name(), "SUV-TM");
+        assert_eq!(SchemeKind::FIG6.len(), 3);
+        assert_eq!(SchemeKind::FIG9.len(), 2);
+    }
+}

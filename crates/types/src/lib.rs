@@ -1,0 +1,36 @@
+//! Common vocabulary types for the SUV-TM simulator stack.
+//!
+//! This crate defines the address arithmetic, machine configuration
+//! (mirroring Table III of the paper) and statistics containers shared by
+//! every other crate in the workspace. It is dependency-free so that leaf
+//! crates (caches, signatures, the interconnect) can be tested in isolation.
+
+pub mod addr;
+pub mod config;
+pub mod stats;
+
+pub use addr::{
+    line_index, line_of, line_offset_bytes, page_of, word_index_in_line, word_of, Addr, LineAddr,
+    PageAddr, LINE_BYTES, LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT, WORDS_PER_LINE, WORD_BYTES,
+};
+pub use config::{
+    BackoffConfig, CacheGeom, ConflictPolicy, DynTmConfig, HtmConfig, MachineConfig, SchemeKind,
+    SuvConfig,
+};
+pub use stats::{Breakdown, BreakdownKind, MachineStats, OverflowStats, RedirectStats, TxStats};
+
+/// Simulated time, in processor clock cycles.
+pub type Cycle = u64;
+
+/// Identifier of a simulated core / hardware thread (0-based).
+pub type CoreId = usize;
+
+/// Identifier of a static transaction site (the `TM_BEGIN` location in the
+/// source program). DynTM's history-based selector predicts per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxSite(pub u32);
+
+impl TxSite {
+    /// Site used when the program does not care to distinguish locations.
+    pub const ANON: TxSite = TxSite(u32::MAX);
+}

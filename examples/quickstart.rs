@@ -1,0 +1,48 @@
+//! Quickstart: simulate one STAMP application under two HTM schemes and
+//! compare their execution-time breakdowns.
+//!
+//! ```sh
+//! cargo run --release -p suv --example quickstart
+//! ```
+
+use suv::prelude::*;
+
+fn main() {
+    // The paper's 16-core Table III machine. `small_test()` gives a
+    // 4-core machine for quick experiments.
+    let cfg = MachineConfig::default();
+
+    println!("Simulating `genome` under LogTM-SE and SUV-TM on {} cores...\n", cfg.n_cores);
+
+    let mut results = Vec::new();
+    for scheme in [SchemeKind::LogTmSe, SchemeKind::SuvTm] {
+        let mut workload = by_name("genome", SuiteScale::Tiny).expect("known workload");
+        let r = run_workload(&cfg, scheme, workload.as_mut());
+        println!(
+            "{:<10} {:>9} cycles  {:>6} commits  {:>6} aborts  abort ratio {:>5.1}%",
+            r.scheme.name(),
+            r.stats.cycles,
+            r.stats.tx.commits,
+            r.stats.tx.aborts,
+            100.0 * r.stats.tx.abort_ratio(),
+        );
+        let b = r.stats.total_breakdown();
+        let total = b.total().max(1);
+        for k in BreakdownKind::ALL {
+            let pct = 100.0 * b.get(k) as f64 / total as f64;
+            if pct >= 0.05 {
+                println!("    {:<10} {:>5.1}%", k.label(), pct);
+            }
+        }
+        results.push(r);
+    }
+
+    let speedup = results[1].speedup_over(&results[0]);
+    println!("\nSUV-TM speedup over LogTM-SE: {speedup:.2}x");
+    println!(
+        "SUV redirect activity: {} entries added, {} redirected back, L1-table miss rate {:.2}%",
+        results[1].stats.redirect.entries_added,
+        results[1].stats.redirect.entries_redirected_back,
+        100.0 * results[1].stats.redirect.l1_miss_rate(),
+    );
+}
