@@ -10,16 +10,12 @@ fn bench_schemes(c: &mut Criterion) {
     g.sample_size(10);
     for app in ["genome", "intruder"] {
         for scheme in SchemeKind::FIG6 {
-            g.bench_with_input(
-                BenchmarkId::new(app, scheme.label()),
-                &scheme,
-                |b, &scheme| {
-                    b.iter(|| {
-                        let mut w = by_name(app, SuiteScale::Tiny).unwrap();
-                        run_workload(&cfg, scheme, w.as_mut())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(app, scheme.label()), &scheme, |b, &scheme| {
+                b.iter(|| {
+                    let mut w = by_name(app, SuiteScale::Tiny).unwrap();
+                    run_workload(&cfg, scheme, w.as_mut())
+                });
+            });
         }
     }
     g.finish();
@@ -27,16 +23,12 @@ fn bench_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_tiny");
     g.sample_size(10);
     for scheme in SchemeKind::FIG9 {
-        g.bench_with_input(
-            BenchmarkId::new("yada", scheme.label()),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    let mut w = by_name("yada", SuiteScale::Tiny).unwrap();
-                    run_workload(&cfg, scheme, w.as_mut())
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("yada", scheme.label()), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let mut w = by_name("yada", SuiteScale::Tiny).unwrap();
+                run_workload(&cfg, scheme, w.as_mut())
+            });
+        });
     }
     g.finish();
 }

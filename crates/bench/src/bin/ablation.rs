@@ -13,10 +13,7 @@ fn main() {
     let apps = ["bayes", "genome", "yada"];
 
     println!("Ablation 1: signature precision (SUV-TM, Paper scale)");
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12}",
-        "app", "64-bit", "256-bit", "2K-bit", "perfect"
-    );
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "app", "64-bit", "256-bit", "2K-bit", "perfect");
     for app in apps {
         print!("{app:<10}");
         let mut nacks = Vec::new();

@@ -5,6 +5,9 @@ use suv::stamp::workloads::HIGH_CONTENTION;
 use suv_bench::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_flag(&args);
+    let mut rows = Vec::new();
     let cfg = paper_machine();
     let scale = SuiteScale::Paper;
     let apps = suv::stamp::WORKLOAD_NAMES;
@@ -20,6 +23,7 @@ fn main() {
         let s = run(&cfg, SchemeKind::SuvTm, app, scale);
         let norm = l.stats.cycles * cfg.n_cores as u64; // all-thread cycles under L
         for r in [&l, &f, &s] {
+            rows.push(run_json(r));
             println!(
                 "{:<10} {:>3} {:>8}  {}",
                 app,
@@ -43,11 +47,27 @@ fn main() {
         }
     }
     println!("\nGeomean speedups over LogTM-SE (paper: SUV 1.56x all / 1.95x high-contention):");
-    println!("  all apps        : FasTM {:.2}x, SUV-TM {:.2}x", geomean(&speedup_f), geomean(&speedup_s));
+    println!(
+        "  all apps        : FasTM {:.2}x, SUV-TM {:.2}x",
+        geomean(&speedup_f),
+        geomean(&speedup_s)
+    );
     println!("  high-contention : FasTM {:.2}x, SUV-TM {:.2}x", geomean(&hc_f), geomean(&hc_s));
     println!(
         "  SUV-TM vs FasTM : {:.2}x all, {:.2}x HC (paper: 1.09x / 1.12x)",
         geomean(&speedup_s) / geomean(&speedup_f),
         geomean(&hc_s) / geomean(&hc_f)
     );
+    if let Some(path) = json_path {
+        let extra = vec![(
+            "geomean_speedup_vs_logtm",
+            Json::obj([
+                ("fastm_all", Json::F64(geomean(&speedup_f))),
+                ("suv_all", Json::F64(geomean(&speedup_s))),
+                ("fastm_high_contention", Json::F64(geomean(&hc_f))),
+                ("suv_high_contention", Json::F64(geomean(&hc_s))),
+            ]),
+        )];
+        write_json_report(&path, "fig6", rows, extra);
+    }
 }

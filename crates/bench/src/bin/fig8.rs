@@ -40,9 +40,6 @@ fn main() {
             }
             print!("  {lat:>2}cyc:{:>9}", r.stats.cycles);
         }
-        println!(
-            "   zero-latency gain vs 10cyc: {:.1}%",
-            100.0 * (1.0 - t0 as f64 / t10 as f64)
-        );
+        println!("   zero-latency gain vs 10cyc: {:.1}%", 100.0 * (1.0 - t0 as f64 / t10 as f64));
     }
 }

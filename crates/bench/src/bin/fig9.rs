@@ -5,6 +5,9 @@ use suv::stamp::workloads::HIGH_CONTENTION;
 use suv_bench::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_flag(&args);
+    let mut rows = Vec::new();
     let cfg = paper_machine();
     let scale = SuiteScale::Paper;
     println!("Figure 9: DynTM (D) vs DynTM+SUV (D+S), normalized to D = 100");
@@ -16,6 +19,7 @@ fn main() {
         let ds = run(&cfg, SchemeKind::DynTmSuv, app, scale);
         let norm = d.stats.cycles * cfg.n_cores as u64;
         for r in [&d, &ds] {
+            rows.push(run_json(r));
             println!(
                 "{:<10} {:>4} {:>9}  {}",
                 app,
@@ -37,4 +41,14 @@ fn main() {
     println!("\nGeomean D+S speedup over D (paper: 9.8% all, 18.6% high-contention):");
     println!("  all apps        : {:.1}%", (geomean(&all) - 1.0) * 100.0);
     println!("  high-contention : {:.1}%", (geomean(&hc) - 1.0) * 100.0);
+    if let Some(path) = json_path {
+        let extra = vec![(
+            "geomean_dyntm_suv_speedup",
+            Json::obj([
+                ("all", Json::F64(geomean(&all))),
+                ("high_contention", Json::F64(geomean(&hc))),
+            ]),
+        )];
+        write_json_report(&path, "fig9", rows, extra);
+    }
 }

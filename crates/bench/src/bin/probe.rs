@@ -13,8 +13,11 @@ fn main() {
         "T" => SchemeKind::Lazy,
         other => panic!("unknown scheme {other}"),
     };
-    let scale =
-        if args.get(3).map(String::as_str) == Some("tiny") { SuiteScale::Tiny } else { SuiteScale::Paper };
+    let scale = if args.get(3).map(String::as_str) == Some("tiny") {
+        SuiteScale::Tiny
+    } else {
+        SuiteScale::Paper
+    };
     let t0 = std::time::Instant::now();
     let r = run(&paper_machine(), scheme, app, scale);
     eprintln!(

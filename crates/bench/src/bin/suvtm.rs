@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! suvtm run   --app genome --scheme suv [--cores 16] [--scale paper] [--breakdown]
+//!             [--trace out.json] [--trace-summary]
 //! suvtm sweep --app yada               # all schemes on one app
 //! suvtm list                           # workloads and schemes
 //! ```
+//!
+//! `--trace out.json` records the run's event stream and writes it in
+//! Chrome Trace Event format — open it in `chrome://tracing` or Perfetto.
+//! `--trace-summary` prints a top-N per-event report to stdout instead of
+//! (or in addition to) the JSON file.
 
 use suv::prelude::*;
 use suv::stamp::WORKLOAD_NAMES;
@@ -27,6 +33,8 @@ struct Opts {
     cores: usize,
     scale: SuiteScale,
     breakdown: bool,
+    trace_path: Option<String>,
+    trace_summary: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -36,6 +44,8 @@ fn parse_opts(args: &[String]) -> Opts {
         cores: 16,
         scale: SuiteScale::Tiny,
         breakdown: false,
+        trace_path: None,
+        trace_summary: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -53,6 +63,8 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--breakdown" => o.breakdown = true,
+            "--trace" => o.trace_path = Some(it.next().expect("--trace PATH").clone()),
+            "--trace-summary" => o.trace_summary = true,
             other => panic!("unknown option {other}"),
         }
     }
@@ -102,8 +114,25 @@ fn main() {
             let o = parse_opts(&args[1..]);
             let mut w = by_name(&o.app, o.scale)
                 .unwrap_or_else(|| panic!("unknown app {}; try `suvtm list`", o.app));
-            let r = run_workload(&config(o.cores), o.scheme, w.as_mut());
+            let tracing = o.trace_path.is_some() || o.trace_summary;
+            let tc = tracing.then(TraceConfig::default);
+            let r = run_workload_traced(&config(o.cores), o.scheme, w.as_mut(), tc);
             report(&r, o.breakdown);
+            if let Some(out) = &r.trace {
+                println!(
+                    "    trace: {} events, {} dropped, hash {:016x}",
+                    out.events, out.dropped, r.trace_hash
+                );
+                if let Some(path) = &o.trace_path {
+                    let json = chrome_trace_json(&out.records, o.cores, out.dropped);
+                    std::fs::write(path, json)
+                        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                    println!("    wrote {path} (open in chrome://tracing)");
+                }
+                if o.trace_summary {
+                    print!("{}", summary_report(out, 10));
+                }
+            }
         }
         Some("sweep") => {
             let o = parse_opts(&args[1..]);
@@ -116,8 +145,8 @@ fn main() {
                 SchemeKind::SuvTm,
                 SchemeKind::DynTmSuv,
             ] {
-                let mut w = by_name(&o.app, o.scale)
-                    .unwrap_or_else(|| panic!("unknown app {}", o.app));
+                let mut w =
+                    by_name(&o.app, o.scale).unwrap_or_else(|| panic!("unknown app {}", o.app));
                 let r = run_workload(&config(o.cores), scheme, w.as_mut());
                 let b = *base.get_or_insert(r.stats.cycles);
                 report(&r, o.breakdown);
@@ -130,7 +159,7 @@ fn main() {
             println!("scales:    tiny paper");
         }
         _ => {
-            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown]");
+            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown] [--trace PATH] [--trace-summary]");
             std::process::exit(2);
         }
     }

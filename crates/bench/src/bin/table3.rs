@@ -8,17 +8,28 @@ fn main() {
     println!("{:<22} {} in-order, single issue (1.2 GHz)", "Processor cores", c.n_cores);
     println!(
         "{:<22} {} KB {}-way, {}-byte line, write-back, {}-cycle latency",
-        "L1 cache", c.l1.capacity_bytes / 1024, c.l1.ways, c.l1.line_bytes, c.l1.latency
+        "L1 cache",
+        c.l1.capacity_bytes / 1024,
+        c.l1.ways,
+        c.l1.line_bytes,
+        c.l1.latency
     );
     println!(
         "{:<22} {} MB {}-way, write-back, {}-cycle latency",
-        "L2 cache", c.l2.capacity_bytes / 1024 / 1024, c.l2.ways, c.l2.latency
+        "L2 cache",
+        c.l2.capacity_bytes / 1024 / 1024,
+        c.l2.ways,
+        c.l2.latency
     );
     println!("{:<22} {} banks, {}-cycle latency", "Main memory", c.mem_banks, c.mem_latency);
     println!("{:<22} bit vector of sharers, {}-cycle latency", "L2 directory", c.dir_latency);
     println!(
         "{:<22} {}x{} mesh, {}-cycle wire latency, {}-cycle route latency",
-        "Interconnect", c.mesh_side(), c.mesh_side(), c.noc_wire_latency, c.noc_route_latency
+        "Interconnect",
+        c.mesh_side(),
+        c.mesh_side(),
+        c.noc_wire_latency,
+        c.noc_route_latency
     );
     println!("{:<22} {} Kbit Bloom filters", "Signature", c.htm.signature_bits / 1024);
     println!(

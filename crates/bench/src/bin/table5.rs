@@ -4,16 +4,26 @@
 use suv_bench::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_flag(&args);
+    let mut rows = Vec::new();
     let cfg = paper_machine();
     println!("Table V: overflow statistics (coarse-grained applications)");
     println!(
         "{:<10} {:>7} {:>8} {:>18} {:>14} {:>14} {:>12}",
-        "app", "scheme", "txns", "L1-data-ovf txns", "spec evictions", "RT-L1-ovf txns", "RT-mem txns"
+        "app",
+        "scheme",
+        "txns",
+        "L1-data-ovf txns",
+        "spec evictions",
+        "RT-L1-ovf txns",
+        "RT-mem txns"
     );
     for app in ["bayes", "labyrinth", "yada"] {
         for s in SchemeKind::FIG6 {
             let r = run(&cfg, s, app, SuiteScale::Paper);
             let o = r.stats.overflow;
+            rows.push(run_json(&r));
             println!(
                 "{:<10} {:>7} {:>8} {:>18} {:>14} {:>14} {:>12}",
                 app,
@@ -29,4 +39,7 @@ fn main() {
     println!("\nNotes: for LogTM-SE/FasTM an L1-data overflow forces sticky/summary handling");
     println!("(FasTM additionally degenerates to LogTM-SE); under SUV evicted speculative");
     println!("lines are backed by the redirect pool, so only redirect-table overflows hurt.");
+    if let Some(path) = json_path {
+        write_json_report(&path, "table5", rows, Vec::new());
+    }
 }

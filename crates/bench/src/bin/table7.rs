@@ -2,8 +2,8 @@
 //! first-level redirect table, plus the paper's §V.C cost arithmetic.
 
 use suv::cacti::{
-    estimate_fa, storage_per_core_kb, tables_area_mm2, worst_case_power_w, ArrayConfig,
-    PROCESSORS, NODES,
+    estimate_fa, storage_per_core_kb, tables_area_mm2, worst_case_power_w, ArrayConfig, NODES,
+    PROCESSORS,
 };
 
 fn main() {

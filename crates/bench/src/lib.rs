@@ -1,7 +1,78 @@
 //! Shared helpers for the figure/table regenerator binaries.
 
 pub use suv::prelude::*;
+pub use suv::trace::Json;
 use suv::types::Cycle;
+
+/// Extract a `--json <path>` flag from a binary's argument list.
+pub fn json_flag(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            return Some(it.next().expect("--json PATH").clone());
+        }
+    }
+    None
+}
+
+/// One machine-readable row for a run: the numbers the figures plot.
+pub fn run_json(r: &RunResult) -> Json {
+    let b = r.stats.total_breakdown();
+    Json::obj([
+        ("app", Json::from(r.workload.as_str())),
+        ("scheme", Json::from(r.scheme.name())),
+        ("cycles", Json::U64(r.stats.cycles)),
+        ("commits", Json::U64(r.stats.tx.commits)),
+        ("aborts", Json::U64(r.stats.tx.aborts)),
+        ("nacks_received", Json::U64(r.stats.tx.nacks_received)),
+        ("l1_misses", Json::U64(r.stats.l1_misses)),
+        ("l2_misses", Json::U64(r.stats.l2_misses)),
+        ("lazy_txns", Json::U64(r.stats.lazy_txns)),
+        ("eager_txns", Json::U64(r.stats.eager_txns)),
+        (
+            "breakdown",
+            Json::obj([
+                ("no_trans", Json::U64(b.no_trans)),
+                ("trans", Json::U64(b.trans)),
+                ("barrier", Json::U64(b.barrier)),
+                ("backoff", Json::U64(b.backoff)),
+                ("stalled", Json::U64(b.stalled)),
+                ("wasted", Json::U64(b.wasted)),
+                ("aborting", Json::U64(b.aborting)),
+                ("committing", Json::U64(b.committing)),
+            ]),
+        ),
+        (
+            "overflow",
+            Json::obj([
+                ("l1_data_overflow_txns", Json::U64(r.stats.overflow.l1_data_overflow_txns)),
+                ("speculative_evictions", Json::U64(r.stats.overflow.speculative_evictions)),
+                ("rt_l1_overflow_txns", Json::U64(r.stats.overflow.rt_l1_overflow_txns)),
+                ("rt_full_overflow_txns", Json::U64(r.stats.overflow.rt_full_overflow_txns)),
+            ]),
+        ),
+    ])
+}
+
+/// Write a figure/table's JSON report to `path`, creating parent
+/// directories (the conventional target is `results/<figure>.json`).
+pub fn write_json_report(
+    path: &str,
+    figure: &str,
+    rows: Vec<Json>,
+    extra: Vec<(&'static str, Json)>,
+) {
+    let mut pairs = vec![("figure", Json::from(figure)), ("rows", Json::Arr(rows))];
+    pairs.extend(extra);
+    let doc = Json::obj(pairs);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+        }
+    }
+    std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
 
 /// Run one (app, scheme) pair at the given scale on the paper machine.
 pub fn run(cfg: &MachineConfig, scheme: SchemeKind, app: &str, scale: SuiteScale) -> RunResult {

@@ -251,12 +251,8 @@ mod tests {
 
     #[test]
     fn metadata_per_line() {
-        let mut c: TagArray<u32> = TagArray::new(&CacheGeom {
-            capacity_bytes: 512,
-            ways: 2,
-            line_bytes: 64,
-            latency: 1,
-        });
+        let mut c: TagArray<u32> =
+            TagArray::new(&CacheGeom { capacity_bytes: 512, ways: 2, line_bytes: 64, latency: 1 });
         c.insert(0x80, false);
         *c.meta_mut(0x80).unwrap() = 7;
         assert_eq!(c.meta(0x80), Some(&7));

@@ -22,5 +22,7 @@ pub mod processors;
 pub mod tech;
 
 pub use model::{estimate_fa, estimate_sa, ArrayConfig, Estimate};
-pub use processors::{storage_per_core_kb, tables_area_mm2, worst_case_power_w, Processor, PROCESSORS};
+pub use processors::{
+    storage_per_core_kb, tables_area_mm2, worst_case_power_w, Processor, PROCESSORS,
+};
 pub use tech::{TechNode, NODES};

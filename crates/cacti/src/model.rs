@@ -70,8 +70,7 @@ const AREA_PER_BIT_UM2: f64 = 6.404;
 pub fn estimate_fa(cfg: &ArrayConfig, node: &TechNode) -> Estimate {
     let entries = cfg.entries as f64;
     let total_bits = cfg.total_bits() as f64;
-    let fo4s =
-        FA_K_FIXED + FA_K_DECODE * entries.log2() + FA_K_WIRE * total_bits.sqrt() / 8.0;
+    let fo4s = FA_K_FIXED + FA_K_DECODE * entries.log2() + FA_K_WIRE * total_bits.sqrt() / 8.0;
     let access_ns = node.fo4_ps * fo4s / 1000.0;
 
     let search_units = entries * cfg.tag_bits as f64 * 2.0 + cfg.data_bits as f64;
@@ -142,14 +141,8 @@ mod tests {
     #[test]
     fn bigger_arrays_cost_more() {
         let node = TechNode::by_nm(45).unwrap();
-        let small = estimate_fa(
-            &ArrayConfig { entries: 128, data_bits: 64, tag_bits: 22 },
-            &node,
-        );
-        let big = estimate_fa(
-            &ArrayConfig { entries: 2048, data_bits: 64, tag_bits: 22 },
-            &node,
-        );
+        let small = estimate_fa(&ArrayConfig { entries: 128, data_bits: 64, tag_bits: 22 }, &node);
+        let big = estimate_fa(&ArrayConfig { entries: 2048, data_bits: 64, tag_bits: 22 }, &node);
         assert!(big.access_ns > small.access_ns);
         assert!(big.read_nj > small.read_nj * 4.0, "CAM energy ~ linear in entries");
         assert!(big.area_mm2 > small.area_mm2 * 4.0);
@@ -170,11 +163,8 @@ mod tests {
         // §V.C: "the area cost of the shared second-level redirect table
         // is not a big problem considering the size of the L2 cache".
         let node = TechNode::by_nm(45).unwrap();
-        let table = estimate_sa(
-            &ArrayConfig { entries: 16384, data_bits: 64, tag_bits: 22 },
-            8,
-            &node,
-        );
+        let table =
+            estimate_sa(&ArrayConfig { entries: 16384, data_bits: 64, tag_bits: 22 }, 8, &node);
         // An 8 MB L2 at ~0.05 mm^2 per KB (45nm) is hundreds of mm^2 of
         // SRAM; the table must be well under 5% of that.
         let l2_mm2 = 8.0 * 1024.0 * 0.05;

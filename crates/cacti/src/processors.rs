@@ -56,7 +56,12 @@ pub const PROCESSORS: [Processor; 3] = [
 /// Per-core SUV storage in kilobytes: the summary signature, its
 /// written-once bit-vector, and the packed first-level table
 /// (§V.C: (2Kb + 2Kb + 22b x 512)/8 = 1.875 KB).
-pub fn storage_per_core_kb(summary_bits: u64, vector_bits: u64, entries: u64, entry_bits: u64) -> f64 {
+pub fn storage_per_core_kb(
+    summary_bits: u64,
+    vector_bits: u64,
+    entries: u64,
+    entry_bits: u64,
+) -> f64 {
     (summary_bits + vector_bits + entries * entry_bits) as f64 / 8.0 / 1024.0
 }
 

@@ -3,6 +3,7 @@
 use crate::mesi::Mesi;
 use suv_cache::{Directory, TagArray};
 use suv_noc::Mesh;
+use suv_trace::{TraceEvent, Tracer};
 use suv_types::{line_of, Addr, CoreId, Cycle, LineAddr, MachineConfig};
 
 /// Load or store.
@@ -174,8 +175,7 @@ impl MemorySystem {
             // Forward to owner; cache-to-cache transfer to the requester.
             let owner_node = self.mesh.core_node(owner);
             let fwd = self.mesh.route(now + latency, dir_node, owner_node);
-            let xfer =
-                self.mesh.route(now + latency + fwd, owner_node, self.mesh.core_node(core));
+            let xfer = self.mesh.route(now + latency + fwd, owner_node, self.mesh.core_node(core));
             latency += fwd + self.cfg.l1.latency + xfer;
             cache_to_cache = true;
             self.stats.c2c_transfers += 1;
@@ -267,6 +267,26 @@ impl MemorySystem {
         meta.state = new_state;
 
         FillOutcome { latency, evicted, cache_to_cache, from_memory }
+    }
+
+    /// [`fill`](Self::fill), plus trace events for the miss: an `L1Miss`
+    /// always, an `L2Miss` when the request went to a memory bank. The
+    /// disabled-tracer path costs one predictable branch per event.
+    pub fn fill_traced(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        tracer: &mut Tracer,
+    ) -> FillOutcome {
+        let f = self.fill(now, core, addr, kind);
+        let line = line_of(addr);
+        tracer.emit(now, core, TraceEvent::L1Miss { line });
+        if f.from_memory {
+            tracer.emit(now, core, TraceEvent::L2Miss { line });
+        }
+        f
     }
 
     /// Mark `core`'s copy of the line as speculatively written (FasTM).

@@ -78,9 +78,7 @@ impl PackedEntry {
         assert!(tlb_index < 64, "6-bit TLB index");
         assert!(page_line < 128, "7-bit in-page offset (64 lines/page + spare)");
         let st = ((state.global as u32) << 1) | state.valid as u32;
-        PackedEntry(
-            (l1_set as u32) << 15 | st << 13 | (tlb_index as u32) << 7 | page_line as u32,
-        )
+        PackedEntry((l1_set as u32) << 15 | st << 13 | (tlb_index as u32) << 7 | page_line as u32)
     }
 
     /// L1 data-cache set index bits (identify the original address

@@ -19,6 +19,7 @@ use crate::table::{RedirectTable, Transient};
 use suv_htm::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
 use suv_mem::{LineData, PoolAllocator, Region};
 use suv_sig::SummarySignature;
+use suv_trace::{RedirectLevel, TraceEvent};
 use suv_types::{line_of, Addr, CoreId, Cycle, LineAddr, RedirectStats, SchemeKind, SuvConfig};
 
 /// Flash commit/abort cost: the gang state-bit transition plus the summary
@@ -72,15 +73,21 @@ impl SuvVm {
     /// Resolve the current version's location for a read (or a
     /// non-transactional write): own transient first, then the committed
     /// redirection, else the original address.
-    fn resolve(&mut self, core: CoreId, addr: Addr, in_tx: bool) -> (Addr, Cycle) {
+    fn resolve(&mut self, env: &mut VmEnv, core: CoreId, addr: Addr, in_tx: bool) -> (Addr, Cycle) {
         let line = line_of(addr);
         let off = addr - line;
-        let needs_lookup =
-            (in_tx && self.table.tx_touched(core, line)) || self.summary.query(addr);
+        let needs_lookup = (in_tx && self.table.tx_touched(core, line)) || self.summary.query(addr);
         if !needs_lookup {
+            env.tracer.emit(
+                env.now,
+                core,
+                TraceEvent::RedirectLookup { level: RedirectLevel::Filtered },
+            );
             return (addr, 0);
         }
-        let (hit, lat) = self.table.lookup(core, line);
+        let (hit, lat, level) = self.table.lookup_leveled(core, line);
+        env.tracer.emit(env.now, core, TraceEvent::RedirectLookup { level });
+        self.drain_swaps(env, core);
         let target = match hit {
             None => {
                 self.table.note_false_positive();
@@ -103,6 +110,13 @@ impl SuvVm {
             env.mem.write_line(to, data);
         }
     }
+
+    /// Surface table entries swapped out to memory as trace events.
+    fn drain_swaps(&mut self, env: &mut VmEnv, core: CoreId) {
+        for line in self.table.take_swap_log() {
+            env.tracer.emit(env.now, core, TraceEvent::TableSwapOut { line });
+        }
+    }
 }
 
 impl VersionManager for SuvVm {
@@ -110,19 +124,20 @@ impl VersionManager for SuvVm {
         SchemeKind::SuvTm
     }
 
-    fn begin(&mut self, _env: &mut VmEnv, core: CoreId, _lazy: bool) -> Cycle {
+    fn begin(&mut self, env: &mut VmEnv, core: CoreId, _lazy: bool) -> Cycle {
         self.levels[core].clear();
+        self.table.set_swap_logging(env.tracer.on());
         0
     }
 
     fn resolve_load(
         &mut self,
-        _env: &mut VmEnv,
+        env: &mut VmEnv,
         core: CoreId,
         addr: Addr,
         in_tx: bool,
     ) -> (LoadTarget, Cycle) {
-        let (target, lat) = self.resolve(core, addr, in_tx);
+        let (target, lat) = self.resolve(env, core, addr, in_tx);
         (LoadTarget::Mem(target), lat)
     }
 
@@ -137,7 +152,7 @@ impl VersionManager for SuvVm {
         if !in_tx {
             // Non-transactional stores write wherever the current version
             // lives; they never create redirections.
-            let (target, lat) = self.resolve(core, addr, in_tx);
+            let (target, lat) = self.resolve(env, core, addr, in_tx);
             return (StoreTarget::Mem(target), lat);
         }
         let line = line_of(addr);
@@ -148,7 +163,9 @@ impl VersionManager for SuvVm {
         // frame first so a partial abort can restore the outer level's
         // speculative value.
         if self.table.tx_touched(core, line) {
-            let (hit, mut lat) = self.table.lookup(core, line);
+            let (hit, mut lat, level) = self.table.lookup_leveled(core, line);
+            env.tracer.emit(env.now, core, TraceEvent::RedirectLookup { level });
+            self.drain_swaps(env, core);
             let own = hit.and_then(|h| h.own).expect("tx-touched line must have a transient");
             let target = match own {
                 Transient::New { slot } => slot + off,
@@ -167,12 +184,19 @@ impl VersionManager for SuvVm {
         }
         // First transactional write to this line: consult summary + table.
         let (hit, mut lat) = if self.summary.query(addr) {
-            let (h, l) = self.table.lookup(core, line);
+            let (h, l, level) = self.table.lookup_leveled(core, line);
+            env.tracer.emit(env.now, core, TraceEvent::RedirectLookup { level });
+            self.drain_swaps(env, core);
             if h.is_none() {
                 self.table.note_false_positive();
             }
             (h, l)
         } else {
+            env.tracer.emit(
+                env.now,
+                core,
+                TraceEvent::RedirectLookup { level: RedirectLevel::Filtered },
+            );
             (None, 0)
         };
         let committed = hit.and_then(|h| h.committed);
@@ -183,6 +207,7 @@ impl VersionManager for SuvVm {
                 // new value; the entry dies at commit. Seed the original
                 // line with the current version first so unwritten words
                 // survive.
+                env.tracer.emit(env.now, core, TraceEvent::RedirectBack);
                 Self::seed_line(env, p, line);
                 self.table.insert_transient(core, line, Transient::DeleteGlobal);
                 if let Some(frame) = self.levels[core].last_mut() {
@@ -193,6 +218,7 @@ impl VersionManager for SuvVm {
             current => {
                 // New redirection into a fresh pool slot.
                 let (slot, fresh_page) = self.pool.alloc_slot();
+                env.tracer.emit(env.now, core, TraceEvent::PoolAlloc { fresh_page });
                 if fresh_page {
                     lat += self.cfg.pool_page_alloc_cycles;
                 }
@@ -268,6 +294,7 @@ mod tests {
     use super::*;
     use suv_coherence::MemorySystem;
     use suv_mem::Memory;
+    use suv_trace::Tracer;
     use suv_types::MachineConfig;
 
     fn setup() -> (Memory, MemorySystem, SuvVm) {
@@ -282,7 +309,8 @@ mod tests {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x00, 12); // @0x00 holds 12 (Fig 4 initial state)
         mem.write_word(0x90, 54); // @0x90's current version (will redirect)
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
 
         // (a) a previous transaction left @0x90 redirected.
         vm.begin(&mut env, 0, false);
@@ -336,7 +364,8 @@ mod tests {
     fn abort_is_single_update() {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x1000, 7);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         for i in 0..50u64 {
             let (t, _) = vm.prepare_store(&mut env, 0, 0x1000 + i * 64, i, true);
@@ -357,7 +386,8 @@ mod tests {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x2000, 10);
         mem.write_word(0x2008, 20);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         // Write only the second word of the line.
         let (t, _) = vm.prepare_store(&mut env, 0, 0x2008, 99, true);
@@ -383,7 +413,8 @@ mod tests {
     #[test]
     fn slot_reuse_after_redirect_back_cycles() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         // Repeatedly update the same variable from alternating transactions:
         // entry count must not grow (the paper's entry-reduction feature).
         for round in 0..10u64 {
@@ -411,7 +442,8 @@ mod tests {
     #[test]
     fn nontx_store_follows_committed_redirection() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         let (t, _) = vm.prepare_store(&mut env, 0, 0x4000, 1, true);
         let slot = match t {
@@ -431,7 +463,8 @@ mod tests {
         let mc = MachineConfig::small_test(); // 32-entry first-level table
         let (mut mem, mut sys, mut vm) =
             (Memory::new(), MemorySystem::new(&mc), SuvVm::new(mc.n_cores, &mc.suv));
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         for i in 0..40u64 {
             vm.prepare_store(&mut env, 0, 0x10_0000 + i * 64, i, true);
@@ -444,7 +477,8 @@ mod tests {
     #[test]
     fn resolution_latency_reflects_table_levels() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         let (t, _) = vm.prepare_store(&mut env, 0, 0x5000, 1, true);
         if let StoreTarget::Mem(p) = t {
@@ -462,7 +496,8 @@ mod tests {
     #[test]
     fn summary_filters_untouched_addresses() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         for i in 0..100u64 {
             let (lt, lat) = vm.resolve_load(&mut env, 0, 0x90_0000 + i * 64, false);
             assert_eq!(lt, LoadTarget::Mem(0x90_0000 + i * 64));

@@ -14,6 +14,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use suv_cache::TagArray;
 use suv_mem::PoolAllocator;
 use suv_sig::SummarySignature;
+use suv_trace::RedirectLevel;
 use suv_types::{CacheGeom, CoreId, Cycle, LineAddr, RedirectStats, SuvConfig};
 
 /// A transaction's in-flight operation on one line's redirect state.
@@ -80,6 +81,11 @@ pub struct RedirectTable {
     ovf_mem: Vec<bool>,
     cfg: SuvConfig,
     stats: RedirectStats,
+    /// Swap-out trace log: lines spilled to memory since the last drain.
+    /// Populated only when logging is enabled (tracing on), and drained by
+    /// the SUV version manager on every table operation.
+    swap_log: Vec<LineAddr>,
+    log_swaps: bool,
 }
 
 impl RedirectTable {
@@ -108,7 +114,22 @@ impl RedirectTable {
             ovf_mem: vec![false; n_cores],
             cfg: *cfg,
             stats: RedirectStats::default(),
+            swap_log: Vec::new(),
+            log_swaps: false,
         }
+    }
+
+    /// Enable/disable the swap-out trace log.
+    pub fn set_swap_logging(&mut self, on: bool) {
+        self.log_swaps = on;
+        if !on {
+            self.swap_log.clear();
+        }
+    }
+
+    /// Drain the swap-out trace log (empty unless logging is enabled).
+    pub fn take_swap_log(&mut self) -> Vec<LineAddr> {
+        std::mem::take(&mut self.swap_log)
     }
 
     /// Did the given core's running transaction touch this line's entry?
@@ -128,6 +149,9 @@ impl RedirectTable {
         if let Some(ev) = self.l2.insert(line, false) {
             if self.map.contains_key(&ev.line) {
                 self.in_memory.insert(ev.line);
+                if self.log_swaps {
+                    self.swap_log.push(ev.line);
+                }
                 for (c, set) in self.tx_entries.iter().enumerate() {
                     if set.contains(&ev.line) {
                         self.ovf_mem[c] = true;
@@ -141,19 +165,34 @@ impl RedirectTable {
     /// Look up a line's redirect state on behalf of `core`. Returns the
     /// core's view and the lookup latency.
     pub fn lookup(&mut self, core: CoreId, line: LineAddr) -> (Option<LookupHit>, Cycle) {
+        let (hit, lat, _) = self.lookup_leveled(core, line);
+        (hit, lat)
+    }
+
+    /// [`lookup`](Self::lookup), also reporting which table level served
+    /// the request (for tracing).
+    pub fn lookup_leveled(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+    ) -> (Option<LookupHit>, Cycle, RedirectLevel) {
         self.stats.l1_lookups += 1;
         let lat;
+        let level;
         if self.l1[core].touch(line) {
             lat = self.cfg.l1_latency;
+            level = RedirectLevel::L1;
         } else {
             self.stats.l1_misses += 1;
             if self.l2.touch(line) {
                 lat = self.cfg.l1_latency + self.cfg.l2_latency;
+                level = RedirectLevel::L2;
                 self.install(core, line);
             } else if self.map.contains_key(&line) {
                 // Swapped out: the software search in main memory.
                 self.stats.mem_lookups += 1;
                 lat = self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.mem_search_cycles;
+                level = RedirectLevel::Memory;
                 self.install(core, line);
             } else {
                 // No entry anywhere: the speculative original-address
@@ -161,6 +200,7 @@ impl RedirectTable {
                 // search entirely — the access proceeds with the original
                 // address at no extra cost (paper SIV.A).
                 lat = self.cfg.l1_latency;
+                level = RedirectLevel::L1;
             }
         }
         let hit = self.map.get(&line).map(|e| LookupHit {
@@ -171,7 +211,7 @@ impl RedirectTable {
                 .iter()
                 .any(|(c, t)| *c != core && matches!(t, Transient::DeleteGlobal)),
         });
-        (hit, lat)
+        (hit, lat, level)
     }
 
     /// Record a transient operation by `core` on `line`.
@@ -205,11 +245,8 @@ impl RedirectTable {
         let n = lines.len();
         for line in lines {
             let e = self.map.get_mut(&line).expect("tx entry must exist");
-            let idx = e
-                .transients
-                .iter()
-                .position(|(c, _)| *c == core)
-                .expect("tx transient must exist");
+            let idx =
+                e.transients.iter().position(|(c, _)| *c == core).expect("tx transient must exist");
             let (_, t) = e.transients.swap_remove(idx);
             match t {
                 Transient::New { slot } => {
@@ -245,11 +282,8 @@ impl RedirectTable {
         let n = lines.len();
         for line in lines {
             let e = self.map.get_mut(&line).expect("tx entry must exist");
-            let idx = e
-                .transients
-                .iter()
-                .position(|(c, _)| *c == core)
-                .expect("tx transient must exist");
+            let idx =
+                e.transients.iter().position(|(c, _)| *c == core).expect("tx transient must exist");
             let (_, t) = e.transients.swap_remove(idx);
             if let Transient::New { slot } = t {
                 pool.free_slot(slot);
@@ -270,11 +304,8 @@ impl RedirectTable {
                 continue;
             }
             let e = self.map.get_mut(line).expect("tx entry must exist");
-            let idx = e
-                .transients
-                .iter()
-                .position(|(c, _)| *c == core)
-                .expect("tx transient must exist");
+            let idx =
+                e.transients.iter().position(|(c, _)| *c == core).expect("tx transient must exist");
             let (_, t) = e.transients.swap_remove(idx);
             if let Transient::New { slot } = t {
                 pool.free_slot(slot);

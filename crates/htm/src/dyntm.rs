@@ -195,6 +195,7 @@ mod tests {
     use crate::fastm::FasTm;
     use suv_coherence::MemorySystem;
     use suv_mem::Memory;
+    use suv_trace::Tracer;
     use suv_types::MachineConfig;
 
     fn dyntm() -> DynTm {
@@ -237,7 +238,8 @@ mod tests {
         let mut mem = Memory::new();
         let mut sys = MemorySystem::new(&MachineConfig::small_test());
         mem.write_word(0x100, 5);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, true); // lazy
         let (tgt, _) = vm.prepare_store(&mut env, 0, 0x100, 9, true);
         assert_eq!(tgt, StoreTarget::Buffered);
@@ -251,7 +253,8 @@ mod tests {
         let mut vm = dyntm();
         let mut mem = Memory::new();
         let mut sys = MemorySystem::new(&MachineConfig::small_test());
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false); // eager
         let (tgt, _) = vm.prepare_store(&mut env, 0, 0x200, 9, true);
         assert_eq!(tgt, StoreTarget::Mem(0x200));

@@ -12,6 +12,7 @@
 use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
 use suv_coherence::{AccessKind, L1Evict, MemorySystem};
 use suv_mem::{LineData, Region};
+use suv_trace::TraceEvent;
 use suv_types::{line_of, Addr, CoreId, Cycle, HtmConfig, LineAddr, SchemeKind, LINE_BYTES};
 
 /// Fixed cost of the fast abort path: gang-invalidate the speculative L1
@@ -144,6 +145,7 @@ impl VersionManager for FasTm {
         if degenerate {
             // LogTM-SE path: software trap, then walk every written line,
             // reading the log record and storing the old value in place.
+            env.tracer.emit(env.now, core, TraceEvent::UndoWalk { entries: old.len() as u64 });
             lat = self.cfg.software_trap_cycles;
             let mut log_ptr = self.cores[core].log_ptr;
             for (line, data) in old.iter().rev() {
@@ -159,6 +161,7 @@ impl VersionManager for FasTm {
             // still holds the old values, which the functional restore
             // makes visible. Later accesses re-fetch from the L2 (the
             // extra misses emerge from the invalidations).
+            env.tracer.emit(env.now, core, TraceEvent::GangInvalidate { lines: old.len() as u64 });
             lat = FAST_ABORT_CYCLES;
             for (line, data) in old.iter().rev() {
                 env.sys.invalidate_local(core, *line);
@@ -212,6 +215,7 @@ mod tests {
     use super::*;
     use suv_coherence::MemorySystem;
     use suv_mem::Memory;
+    use suv_trace::Tracer;
     use suv_types::MachineConfig;
 
     fn setup() -> (Memory, MemorySystem, FasTm) {
@@ -226,7 +230,8 @@ mod tests {
             mem.write_word(0x1000 + i * 64, i + 1);
         }
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
             vm.begin(&mut env, 0, false);
             for i in 0..20u64 {
                 vm.prepare_store(&mut env, 0, 0x1000 + i * 64, 777, true);
@@ -235,7 +240,8 @@ mod tests {
         for i in 0..20u64 {
             mem.write_word(0x1000 + i * 64, 777);
         }
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100, tracer: &mut tr };
         let lat = vm.abort(&mut env, 0);
         assert_eq!(lat, FAST_ABORT_CYCLES, "fast abort is O(1)");
         for i in 0..20u64 {
@@ -247,7 +253,8 @@ mod tests {
     fn degenerate_abort_is_slow() {
         let (mut mem, mut sys, mut vm) = setup();
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
             vm.begin(&mut env, 0, false);
             vm.prepare_store(&mut env, 0, 0x2000, 1, true);
             vm.prepare_store(&mut env, 0, 0x2040, 2, true);
@@ -255,12 +262,10 @@ mod tests {
         // Simulate a speculative line being evicted.
         vm.on_eviction(0, &L1Evict { line: 0x2000, dirty: true, speculative: true });
         assert!(vm.is_degenerate(0));
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100, tracer: &mut tr };
         let lat = vm.abort(&mut env, 0);
-        assert!(
-            lat > FAST_ABORT_CYCLES + 50,
-            "degenerate abort must pay trap + walk, got {lat}"
-        );
+        assert!(lat > FAST_ABORT_CYCLES + 50, "degenerate abort must pay trap + walk, got {lat}");
         assert!(!vm.is_degenerate(0), "flag cleared for the next attempt");
     }
 
@@ -278,7 +283,8 @@ mod tests {
         sys.fill(0, 0, 0x3000, AccessKind::Store);
         sys.access_hit(0, 0x3000, AccessKind::Store);
         assert!(sys.is_dirty_in_l1(0, 0x3000));
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 10 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 10, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         let (_, lat) = vm.prepare_store(&mut env, 0, 0x3000, 9, true);
         assert!(lat > 0, "write-back of the dirty old value must be charged");
@@ -288,7 +294,8 @@ mod tests {
     #[test]
     fn second_write_to_same_line_is_free() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         vm.prepare_store(&mut env, 0, 0x4000, 1, true);
         let (_, lat) = vm.prepare_store(&mut env, 0, 0x4008, 2, true);
@@ -298,7 +305,8 @@ mod tests {
     #[test]
     fn commit_clears_state() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         vm.prepare_store(&mut env, 0, 0x5000, 1, true);
         let lat = vm.commit(&mut env, 0);

@@ -9,6 +9,7 @@
 use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
 use std::collections::HashMap;
 use suv_coherence::AccessKind;
+use suv_trace::TraceEvent;
 use suv_types::{line_of, word_of, Addr, CoreId, Cycle, LineAddr, SchemeKind};
 
 #[derive(Debug, Default)]
@@ -88,6 +89,11 @@ impl VersionManager for LazyVm {
         // buffered words through. This is the commit-side data movement
         // lazy schemes pay.
         let b = std::mem::take(&mut self.bufs[core]);
+        env.tracer.emit(
+            env.now,
+            core,
+            TraceEvent::WriteBufferDrain { lines: b.lines.len() as u64 },
+        );
         let mut lat = 0;
         for line in &b.lines {
             lat += if env.sys.has_permission(core, *line, AccessKind::Store) {
@@ -116,6 +122,7 @@ mod tests {
     use super::*;
     use suv_coherence::MemorySystem;
     use suv_mem::Memory;
+    use suv_trace::Tracer;
     use suv_types::MachineConfig;
 
     fn setup() -> (Memory, MemorySystem, LazyVm) {
@@ -127,7 +134,8 @@ mod tests {
     fn stores_invisible_until_commit() {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x100, 5);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         let (tgt, _) = vm.prepare_store(&mut env, 0, 0x100, 9, true);
         assert_eq!(tgt, StoreTarget::Buffered);
@@ -143,7 +151,8 @@ mod tests {
     #[test]
     fn commit_merges_and_costs_per_line() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         for i in 0..8u64 {
             vm.prepare_store(&mut env, 0, 0x2000 + i * 64, i, true);
@@ -163,7 +172,8 @@ mod tests {
     fn abort_discards_cheaply() {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x300, 1);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         vm.prepare_store(&mut env, 0, 0x300, 2, true);
         let lat = vm.abort(&mut env, 0);
@@ -177,7 +187,8 @@ mod tests {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x400, 10);
         mem.write_word(0x408, 20);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         vm.prepare_store(&mut env, 0, 0x408, 99, true);
         vm.commit(&mut env, 0);
@@ -188,7 +199,8 @@ mod tests {
     #[test]
     fn buffers_are_per_core() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         vm.begin(&mut env, 1, false);
         vm.prepare_store(&mut env, 0, 0x500, 1, true);

@@ -8,6 +8,7 @@
 
 use crate::undo::UndoLog;
 use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
+use suv_trace::TraceEvent;
 use suv_types::{Addr, CoreId, Cycle, HtmConfig, SchemeKind};
 
 /// LogTM-SE.
@@ -75,6 +76,11 @@ impl VersionManager for LogTmSe {
 
     fn abort(&mut self, env: &mut VmEnv, core: CoreId) -> Cycle {
         // Trap into the software handler, then walk the log backwards.
+        env.tracer.emit(
+            env.now,
+            core,
+            TraceEvent::UndoWalk { entries: self.logs[core].len() as u64 },
+        );
         let trap = self.cfg.software_trap_cycles;
         let walk = self.logs[core].unwind(env.mem, env.sys, env.now + trap, core);
         trap + walk
@@ -107,6 +113,7 @@ mod tests {
     use super::*;
     use suv_coherence::MemorySystem;
     use suv_mem::Memory;
+    use suv_trace::Tracer;
     use suv_types::MachineConfig;
 
     fn setup() -> (Memory, MemorySystem, LogTmSe) {
@@ -118,7 +125,8 @@ mod tests {
     fn store_logs_then_machine_updates_in_place() {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x100, 11);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         vm.begin(&mut env, 0, false);
         let (tgt, lat) = vm.prepare_store(&mut env, 0, 0x100, 99, true);
         assert_eq!(tgt, StoreTarget::Mem(0x100), "in-place update");
@@ -134,12 +142,14 @@ mod tests {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x200, 5);
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
             vm.begin(&mut env, 1, false);
             vm.prepare_store(&mut env, 1, 0x200, 50, true);
         }
         mem.write_word(0x200, 50);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 100, tracer: &mut tr };
         let repair = vm.abort(&mut env, 1);
         assert!(repair >= 100, "at least the software trap ({repair})");
         assert_eq!(mem.read_word(0x200), 5, "old value restored");
@@ -150,12 +160,14 @@ mod tests {
         let (mut mem, mut sys, mut vm) = setup();
         mem.write_word(0x300, 1);
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
             vm.begin(&mut env, 0, false);
             vm.prepare_store(&mut env, 0, 0x300, 2, true);
         }
         mem.write_word(0x300, 2);
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 10 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 10, tracer: &mut tr };
         let c = vm.commit(&mut env, 0);
         assert!(c <= 2, "commit must be O(1), got {c}");
         assert_eq!(mem.read_word(0x300), 2);
@@ -165,7 +177,8 @@ mod tests {
     #[test]
     fn nontx_store_does_not_log() {
         let (mut mem, mut sys, mut vm) = setup();
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         let (_, lat) = vm.prepare_store(&mut env, 0, 0x400, 1, false);
         assert_eq!(lat, 0);
         assert_eq!(vm.log_len(0), 0);
@@ -175,20 +188,24 @@ mod tests {
     fn abort_repair_scales_with_write_set() {
         let (mut mem, mut sys, mut vm) = setup();
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
             vm.begin(&mut env, 0, false);
             for i in 0..32u64 {
                 vm.prepare_store(&mut env, 0, 0x8000 + i * 64, i, true);
             }
         }
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 500 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 500, tracer: &mut tr };
         let big = vm.abort(&mut env, 0);
         {
-            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 1000 };
+            let mut tr = Tracer::disabled();
+            let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 1000, tracer: &mut tr };
             vm.begin(&mut env, 0, false);
             vm.prepare_store(&mut env, 0, 0x8000, 1, true);
         }
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 2000 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 2000, tracer: &mut tr };
         let small = vm.abort(&mut env, 0);
         assert!(big > small, "repair time must grow with the write set");
     }

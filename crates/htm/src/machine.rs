@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use suv_coherence::{AccessKind, MemorySystem};
 use suv_mem::Memory;
+use suv_trace::{TraceEvent, Tracer};
 use suv_types::{
     line_of, word_of, Addr, CoreId, Cycle, LineAddr, MachineConfig, OverflowStats, TxSite, TxStats,
 };
@@ -76,6 +77,9 @@ pub struct HtmMachine {
     /// Chip-wide lazy-commit token: free-at time.
     commit_token_free: Cycle,
     rngs: Vec<StdRng>,
+    /// Event/metrics sink; disabled by default (one predictable branch per
+    /// emission point).
+    tracer: Tracer,
 }
 
 impl HtmMachine {
@@ -99,12 +103,34 @@ impl HtmMachine {
             overflow: OverflowStats::default(),
             commit_token_free: 0,
             rngs: (0..cfg.n_cores).map(|c| StdRng::seed_from_u64(0xBAC0FF + c as u64)).collect(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Install a tracer (replacing the default disabled one).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Borrow the tracer (e.g. to check [`Tracer::on`] or read metrics).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Take the tracer out for finishing, leaving a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::disabled())
+    }
+
+    /// Emit an event attributed to `core` at time `t`. Hook for callers
+    /// that hold the machine lock (the sim layer's barrier accounting).
+    pub fn trace_emit(&mut self, t: Cycle, core: CoreId, ev: TraceEvent) {
+        self.tracer.emit(t, core, ev);
     }
 
     /// Is `core` currently inside a transaction?
@@ -132,7 +158,13 @@ impl HtmMachine {
 
     /// Find a defender that conflicts with `requester`'s access to `line`.
     /// Returns the lowest-numbered conflicting core.
-    fn find_conflict(&self, now: Cycle, requester: CoreId, line: LineAddr, is_write: bool) -> Option<CoreId> {
+    fn find_conflict(
+        &self,
+        now: Cycle,
+        requester: CoreId,
+        line: LineAddr,
+        is_write: bool,
+    ) -> Option<CoreId> {
         for (c, t) in self.txs.iter().enumerate() {
             if c == requester || !t.isolation_live(now) {
                 continue;
@@ -147,11 +179,8 @@ impl HtmMachine {
             if !defends {
                 continue;
             }
-            let hit = if is_write {
-                t.rsig_hit(line) || t.wsig_hit(line)
-            } else {
-                t.wsig_hit(line)
-            };
+            let hit =
+                if is_write { t.rsig_hit(line) || t.wsig_hit(line) } else { t.wsig_hit(line) };
             if hit {
                 return Some(c);
             }
@@ -201,6 +230,23 @@ impl HtmMachine {
         must_abort
     }
 
+    /// Trace a NACK: the NACK proper is attributed to the defender and the
+    /// resulting stall to the requester, so per-core `nack` event counts
+    /// reconcile with `nacks_sent` and `stall` counts with
+    /// `nacks_received`.
+    fn trace_nack(
+        &mut self,
+        now: Cycle,
+        requester: CoreId,
+        nacker: CoreId,
+        line: LineAddr,
+        stall: Cycle,
+        must_abort: bool,
+    ) {
+        self.tracer.emit(now, nacker, TraceEvent::Nack { requester: requester as u32, must_abort });
+        self.tracer.emit(now, requester, TraceEvent::Stall { line, cycles: stall });
+    }
+
     /// Begin (or nest) a transaction. Returns the begin latency.
     pub fn begin_tx(&mut self, now: Cycle, core: CoreId, site: TxSite) -> Cycle {
         self.settle(now);
@@ -217,7 +263,8 @@ impl HtmMachine {
                 // LogTM-Nested stacked frame: per-level signatures plus a
                 // version-manager watermark, enabling partial abort.
                 self.txs[core].push_frame();
-                let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+                let mut env =
+                    VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
                 return 2 + self.vm.begin_level(&mut env, core);
             }
             return 1; // flattened (subsumed) nesting
@@ -236,7 +283,9 @@ impl HtmMachine {
             // retries so the oldest eventually wins.
             t.timestamp = (now << 8) | core as u64;
         }
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        self.tracer.emit(now, core, TraceEvent::TxBegin { site: site.0, lazy });
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         self.cfg.htm.checkpoint_cycles + self.vm.begin(&mut env, core, lazy)
     }
 
@@ -248,7 +297,8 @@ impl HtmMachine {
             return Access::MustAbort { latency: 1 };
         }
         let line = line_of(addr);
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let (target, res_lat) = self.vm.resolve_load(&mut env, core, addr, true);
         let (value, latency) = match target {
             LoadTarget::Value(v) => (v, res_lat + self.cfg.l1.latency),
@@ -262,14 +312,22 @@ impl HtmMachine {
                         let must_abort = self.note_nack(core, nacker, true);
                         let latency =
                             res_lat + self.sys.nack_latency(now + res_lat, core, line, nacker);
+                        self.trace_nack(now, core, nacker, line, latency, must_abort);
                         return Access::Nacked { nacker, latency, must_abort };
                     }
-                    let f = self.sys.fill(now + res_lat, core, addr, AccessKind::Load);
+                    let f = self.sys.fill_traced(
+                        now + res_lat,
+                        core,
+                        addr,
+                        AccessKind::Load,
+                        &mut self.tracer,
+                    );
                     if let Some(ev) = f.evicted {
                         self.vm.on_eviction(core, &ev);
                         if ev.speculative {
                             self.txs[core].overflowed_l1 = true;
                             self.overflow.speculative_evictions += 1;
+                            self.tracer.emit(now, core, TraceEvent::SpecEviction { line: ev.line });
                         }
                     }
                     (self.mem.read_word(word_of(phys)), res_lat + f.latency)
@@ -281,6 +339,7 @@ impl HtmMachine {
         };
         self.txs[core].note_read(line);
         self.tx_stats[core].tx_loads += 1;
+        self.tracer.emit(now, core, TraceEvent::TxRead { line });
         Access::Done { value, latency }
     }
 
@@ -301,11 +360,13 @@ impl HtmMachine {
             if let Some(nacker) = self.find_conflict(now, core, line, true) {
                 let must_abort = self.note_nack(core, nacker, true);
                 let latency = self.sys.nack_latency(now, core, line, nacker);
+                self.trace_nack(now, core, nacker, line, latency, must_abort);
                 return Access::Nacked { nacker, latency, must_abort };
             }
             self.doom_lazy_conflictors(now, core, line);
         }
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let (target, vm_lat) = self.vm.prepare_store(&mut env, core, addr, value, true);
         let lazy = self.txs[core].lazy;
         let latency = match target {
@@ -326,12 +387,19 @@ impl HtmMachine {
                 let lat = if self.sys.has_permission(core, addr, AccessKind::Store) {
                     self.sys.access_hit(core, addr, AccessKind::Store)
                 } else {
-                    let f = self.sys.fill(now + vm_lat, core, addr, AccessKind::Store);
+                    let f = self.sys.fill_traced(
+                        now + vm_lat,
+                        core,
+                        addr,
+                        AccessKind::Store,
+                        &mut self.tracer,
+                    );
                     if let Some(ev) = f.evicted {
                         self.vm.on_eviction(core, &ev);
                         if ev.speculative {
                             self.txs[core].overflowed_l1 = true;
                             self.overflow.speculative_evictions += 1;
+                            self.tracer.emit(now, core, TraceEvent::SpecEviction { line: ev.line });
                         }
                     }
                     f.latency
@@ -343,6 +411,7 @@ impl HtmMachine {
         };
         self.txs[core].note_write(line);
         self.tx_stats[core].tx_stores += 1;
+        self.tracer.emit(now, core, TraceEvent::TxWrite { line });
         Access::Done { value: 0, latency }
     }
 
@@ -354,7 +423,8 @@ impl HtmMachine {
             self.txs[core].depth -= 1;
             if !self.txs[core].frames.is_empty() {
                 self.txs[core].merge_top_frame();
-                let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+                let mut env =
+                    VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
                 let lat = 1 + self.vm.commit_level(&mut env, core);
                 return CommitOutcome::Committed { latency: lat, committing: 0 };
             }
@@ -371,8 +441,10 @@ impl HtmMachine {
     }
 
     fn commit_eager(&mut self, now: Cycle, core: CoreId) -> CommitOutcome {
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let lat = self.vm.commit(&mut env, core);
+        self.tracer.emit(now, core, TraceEvent::TxCommit { window: lat, committing: 0 });
         self.finish_tx(now, core, true, lat);
         CommitOutcome::Committed { latency: lat, committing: 0 }
     }
@@ -381,6 +453,7 @@ impl HtmMachine {
         // Arbitrate for the chip-wide commit token.
         let start = now.max(self.commit_token_free) + self.cfg.dyntm.commit_arbitration_cycles;
         let wait = start - now;
+        self.tracer.emit(now, core, TraceEvent::CommitArbitration { wait });
         // Validate: the committer's write set against every live
         // transaction. Eager transactions own their lines — the committer
         // loses. Conflicting lazy transactions are doomed.
@@ -409,10 +482,12 @@ impl HtmMachine {
         }
         // Merge (write-buffer drain, or an SUV flash when SUV backs the
         // lazy mode), holding the token.
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now: start };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now: start };
         let merge = self.vm.commit(&mut env, core);
         self.commit_token_free = start + merge;
         let total = wait + merge;
+        self.tracer.emit(now, core, TraceEvent::TxCommit { window: total, committing: total });
         self.finish_tx(now, core, true, total);
         CommitOutcome::Committed { latency: total, committing: total }
     }
@@ -430,7 +505,8 @@ impl HtmMachine {
         }
         t.depth -= 1;
         t.drop_top_frame();
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         Some(self.vm.abort_level(&mut env, core) + 1)
     }
 
@@ -439,8 +515,10 @@ impl HtmMachine {
     pub fn abort_tx(&mut self, now: Cycle, core: CoreId) -> Cycle {
         self.settle(now);
         debug_assert!(self.txs[core].depth > 0, "abort outside a transaction");
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let lat = self.vm.abort(&mut env, core) + self.cfg.htm.restore_cycles;
+        self.tracer.emit(now, core, TraceEvent::TxAbort { window: lat });
         self.finish_tx(now, core, false, lat);
         lat
     }
@@ -476,11 +554,13 @@ impl HtmMachine {
     }
 
     /// Randomized exponential backoff after an abort, in cycles.
-    pub fn backoff_cycles(&mut self, core: CoreId) -> Cycle {
+    pub fn backoff_cycles(&mut self, now: Cycle, core: CoreId) -> Cycle {
         let b = self.cfg.htm.backoff;
         let attempts = self.txs[core].attempts.min(16);
         let window = (b.base * b.multiplier.pow(attempts.saturating_sub(1))).min(b.cap);
-        self.rngs[core].random_range(1..=window.max(1))
+        let cycles = self.rngs[core].random_range(1..=window.max(1));
+        self.tracer.emit(now, core, TraceEvent::Backoff { cycles });
+        cycles
     }
 
     /// Non-transactional load (strong isolation: the same resolution and
@@ -488,7 +568,8 @@ impl HtmMachine {
     pub fn nontx_load(&mut self, now: Cycle, core: CoreId, addr: Addr) -> Access {
         self.settle(now);
         let line = line_of(addr);
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let (target, res_lat) = self.vm.resolve_load(&mut env, core, addr, false);
         let phys = match target {
             LoadTarget::Mem(p) => p,
@@ -498,9 +579,11 @@ impl HtmMachine {
             if let Some(nacker) = self.find_conflict(now, core, line, false) {
                 let must_abort = self.note_nack(core, nacker, false);
                 let latency = res_lat + self.sys.nack_latency(now + res_lat, core, line, nacker);
+                self.trace_nack(now, core, nacker, line, latency, must_abort);
                 return Access::Nacked { nacker, latency, must_abort };
             }
-            let f = self.sys.fill(now + res_lat, core, addr, AccessKind::Load);
+            let f =
+                self.sys.fill_traced(now + res_lat, core, addr, AccessKind::Load, &mut self.tracer);
             if let Some(ev) = f.evicted {
                 self.vm.on_eviction(core, &ev);
             }
@@ -515,7 +598,8 @@ impl HtmMachine {
     pub fn nontx_store(&mut self, now: Cycle, core: CoreId, addr: Addr, value: u64) -> Access {
         self.settle(now);
         let line = line_of(addr);
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now };
+        let mut env =
+            VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let (target, vm_lat) = self.vm.prepare_store(&mut env, core, addr, value, false);
         let phys = match target {
             StoreTarget::Mem(p) => p,
@@ -525,10 +609,12 @@ impl HtmMachine {
             if let Some(nacker) = self.find_conflict(now, core, line, true) {
                 let must_abort = self.note_nack(core, nacker, false);
                 let latency = vm_lat + self.sys.nack_latency(now + vm_lat, core, line, nacker);
+                self.trace_nack(now, core, nacker, line, latency, must_abort);
                 return Access::Nacked { nacker, latency, must_abort };
             }
             self.doom_lazy_conflictors(now, core, line);
-            let f = self.sys.fill(now + vm_lat, core, addr, AccessKind::Store);
+            let f =
+                self.sys.fill_traced(now + vm_lat, core, addr, AccessKind::Store, &mut self.tracer);
             if let Some(ev) = f.evicted {
                 self.vm.on_eviction(core, &ev);
             }
@@ -550,7 +636,12 @@ impl HtmMachine {
     /// Fast functional read for result verification (no timing). Resolves
     /// committed redirections through the version manager.
     pub fn peek(&mut self, addr: Addr) -> u64 {
-        let mut env = VmEnv { mem: &mut self.mem, sys: &mut self.sys, now: u64::MAX / 2 };
+        let mut env = VmEnv {
+            mem: &mut self.mem,
+            sys: &mut self.sys,
+            tracer: &mut self.tracer,
+            now: u64::MAX / 2,
+        };
         match self.vm.resolve_load(&mut env, 0, addr, false) {
             (LoadTarget::Mem(p), _) => self.mem.read_word(word_of(p)),
             (LoadTarget::Value(v), _) => v,
@@ -670,7 +761,7 @@ mod tests {
         let mut m = machine();
         m.poke(0x400, 0); // line A
         m.poke(0x440, 0); // line B
-        // T0 (older) reads A; T1 (younger) reads B.
+                          // T0 (older) reads A; T1 (younger) reads B.
         let mut t0 = 0;
         t0 += m.begin_tx(t0, 0, TxSite(1));
         let (_, l) = must_done(m.tx_load(t0, 0, 0x400));
@@ -770,14 +861,14 @@ mod tests {
         let mut m = machine();
         m.begin_tx(0, 0, TxSite(1));
         m.abort_tx(10, 0);
-        let b1: Cycle = (0..32).map(|_| m.backoff_cycles(0)).max().unwrap();
+        let b1: Cycle = (0..32).map(|_| m.backoff_cycles(20, 0)).max().unwrap();
         // Simulate more failed attempts.
         for i in 0..6 {
             let t = 1000 * (i + 1);
             m.begin_tx(t, 0, TxSite(1));
             m.abort_tx(t + 10, 0);
         }
-        let b7: Cycle = (0..32).map(|_| m.backoff_cycles(0)).max().unwrap();
+        let b7: Cycle = (0..32).map(|_| m.backoff_cycles(8000, 0)).max().unwrap();
         assert!(b7 > b1, "backoff must grow ({b1} -> {b7})");
         assert!(b7 <= m.config().htm.backoff.cap);
     }

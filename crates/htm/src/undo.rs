@@ -108,7 +108,13 @@ impl UndoLog {
 
     /// Charge one hierarchy access without conflict checks (log space is
     /// thread-private; abort restoration must always make progress).
-    fn charge(sys: &mut MemorySystem, now: Cycle, core: CoreId, addr: Addr, kind: AccessKind) -> Cycle {
+    fn charge(
+        sys: &mut MemorySystem,
+        now: Cycle,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Cycle {
         if sys.has_permission(core, addr, kind) {
             sys.access_hit(core, addr, kind)
         } else {

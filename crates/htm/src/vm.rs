@@ -13,6 +13,7 @@
 
 use suv_coherence::{L1Evict, MemorySystem};
 use suv_mem::Memory;
+use suv_trace::Tracer;
 use suv_types::{Addr, CoreId, Cycle, RedirectStats, SchemeKind, TxSite};
 
 /// Mutable view of the machine a version manager operates through.
@@ -23,6 +24,11 @@ pub struct VmEnv<'a> {
     pub sys: &'a mut MemorySystem,
     /// Current simulated time of the acting core.
     pub now: Cycle,
+    /// Event sink; a disabled tracer costs one predictable branch per
+    /// emission, so version managers emit unconditionally except where
+    /// computing the payload itself is expensive (gate those on
+    /// [`Tracer::on`]).
+    pub tracer: &'a mut Tracer,
 }
 
 /// Where a load's data comes from.
@@ -205,7 +211,8 @@ mod tests {
         assert_eq!(vm.lazy_tx_count(), 0);
         let mut mem = Memory::new();
         let mut sys = MemorySystem::new(&MachineConfig::small_test());
-        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0 };
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
         assert_eq!(vm.begin(&mut env, 0, false), 0);
         assert_eq!(vm.resolve_load(&mut env, 0, 0x40, true), (LoadTarget::Mem(0x40), 0));
     }

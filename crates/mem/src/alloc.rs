@@ -80,7 +80,13 @@ pub struct PoolAllocator {
 impl PoolAllocator {
     /// Pool allocator over `region`.
     pub fn new(region: Region) -> Self {
-        PoolAllocator { region, next_slot: region.base, page_end: region.base, free: Vec::new(), pages: 0 }
+        PoolAllocator {
+            region,
+            next_slot: region.base,
+            page_end: region.base,
+            free: Vec::new(),
+            pages: 0,
+        }
     }
 
     /// Allocate one line-sized redirect slot. Returns the slot's line

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use suv_htm::machine::{Access, CommitOutcome, HtmMachine};
 use suv_mem::{BumpAllocator, Region};
+use suv_trace::TraceEvent;
 use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, TxSite};
 
 /// Marker propagated by `?` out of a transaction body when the hardware
@@ -76,12 +77,18 @@ pub struct ThreadCtx {
     pub rng: StdRng,
     /// Hard wall on simulated time to catch runaway configurations.
     max_cycles: Cycle,
+    /// Cached tracing flag so untraced runs never lock the machine just to
+    /// discover there is nothing to emit.
+    trace_on: bool,
 }
 
 impl ThreadCtx {
     /// Build the context for simulated thread `tid`.
     pub fn new(machine: Arc<Mutex<HtmMachine>>, sched: Arc<Scheduler>, tid: usize) -> Self {
-        let retry_interval = machine.lock().config().htm.retry_interval;
+        let (retry_interval, trace_on) = {
+            let m = machine.lock();
+            (m.config().htm.retry_interval, m.tracer().on())
+        };
         ThreadCtx {
             machine,
             sched,
@@ -93,6 +100,7 @@ impl ThreadCtx {
             retry_interval,
             rng: StdRng::seed_from_u64(0x57A3F + tid as u64 * 0x9E37),
             max_cycles: 50_000_000_000,
+            trace_on,
         }
     }
 
@@ -177,6 +185,13 @@ impl ThreadCtx {
         let waited = released.saturating_sub(self.now);
         self.now = released;
         self.breakdown.add(BreakdownKind::Barrier, waited);
+        if self.trace_on && waited > 0 {
+            self.machine.lock().trace_emit(
+                released,
+                self.tid,
+                TraceEvent::BarrierWait { cycles: waited },
+            );
+        }
     }
 
     /// Run `body` as a transaction at static site `site`, retrying on
@@ -238,7 +253,7 @@ impl ThreadCtx {
         self.breakdown.add(BreakdownKind::Wasted, self.attempt_trans);
         self.attempt_trans = 0;
         self.spend(BreakdownKind::Aborting, dur);
-        let backoff = self.machine.lock().backoff_cycles(self.tid);
+        let backoff = self.machine.lock().backoff_cycles(self.now, self.tid);
         self.spend(BreakdownKind::Backoff, backoff);
     }
 }

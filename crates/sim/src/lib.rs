@@ -19,6 +19,6 @@ pub mod sched;
 pub mod scheme;
 
 pub use context::{Abort, SetupCtx, ThreadCtx, Tx};
-pub use runner::{run_workload, RunResult, Workload};
+pub use runner::{run_workload, run_workload_traced, RunResult, TraceConfig, Workload};
 pub use sched::Scheduler;
 pub use scheme::build_vm;

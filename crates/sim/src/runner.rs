@@ -6,6 +6,7 @@ use crate::scheme::build_vm;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use suv_htm::machine::HtmMachine;
+use suv_trace::{TraceOutput, Tracer};
 use suv_types::{MachineConfig, MachineStats, SchemeKind};
 
 /// A benchmark program for the simulated machine.
@@ -27,6 +28,20 @@ pub trait Workload: Sync {
     fn verify(&self, _ctx: &mut SetupCtx<'_>) {}
 }
 
+/// Tracing knobs for a traced run.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events; the stream hash is unaffected when
+    /// the ring overflows, only the retained window shrinks.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { ring_capacity: 1 << 20 }
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -36,6 +51,11 @@ pub struct RunResult {
     pub workload: String,
     /// All collected statistics.
     pub stats: MachineStats,
+    /// Streaming hash over the full event stream — the bit-reproducibility
+    /// oracle (0 when tracing was off).
+    pub trace_hash: u64,
+    /// Full trace output when the run was traced.
+    pub trace: Option<TraceOutput>,
 }
 
 impl RunResult {
@@ -56,11 +76,25 @@ pub fn run_workload(
     scheme: SchemeKind,
     workload: &mut dyn Workload,
 ) -> RunResult {
+    run_workload_traced(cfg, scheme, workload, None)
+}
+
+/// [`run_workload`] with optional event tracing. Setup and verify are
+/// untimed and untraced; only the timed parallel region emits events.
+pub fn run_workload_traced(
+    cfg: &MachineConfig,
+    scheme: SchemeKind,
+    workload: &mut dyn Workload,
+    trace: Option<TraceConfig>,
+) -> RunResult {
     let vm = build_vm(scheme, cfg);
     let mut machine = HtmMachine::new(cfg, vm);
     {
         let mut setup = SetupCtx::new(&mut machine);
         workload.setup(&mut setup);
+    }
+    if let Some(tc) = trace {
+        machine.set_tracer(Tracer::ring(tc.ring_capacity));
     }
     let machine = Arc::new(Mutex::new(machine));
     let sched = Arc::new(Scheduler::new(cfg.n_cores));
@@ -94,9 +128,20 @@ pub fn run_workload(
         per_thread.push(ctx.breakdown());
     }
 
-    let mut machine = Arc::try_unwrap(machine)
-        .unwrap_or_else(|_| panic!("machine still shared"))
-        .into_inner();
+    let mut machine =
+        Arc::try_unwrap(machine).unwrap_or_else(|_| panic!("machine still shared")).into_inner();
+    // Harvest the tracer before verify so untimed verification accesses
+    // never pollute the event stream.
+    let mut tracer = machine.take_tracer();
+    let (trace_hash, trace_out) = if tracer.on() {
+        let m = tracer.metrics_mut();
+        m.inc("sched_handoffs", sched.handoffs());
+        m.inc("sched_barrier_arrivals", sched.barrier_arrivals());
+        let out = tracer.finish();
+        (out.hash, Some(out))
+    } else {
+        (0, None)
+    };
     {
         let mut setup = SetupCtx::new(&mut machine);
         workload.verify(&mut setup);
@@ -116,7 +161,7 @@ pub fn run_workload(
         lazy_txns,
         eager_txns: (tx.commits + tx.aborts).saturating_sub(lazy_txns),
     };
-    RunResult { scheme, workload: workload.name().to_string(), stats }
+    RunResult { scheme, workload: workload.name().to_string(), stats, trace_hash, trace: trace_out }
 }
 
 #[cfg(test)]

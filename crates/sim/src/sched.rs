@@ -14,6 +14,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use suv_types::Cycle;
 
 struct Inner {
@@ -44,6 +45,11 @@ impl Inner {
 pub struct Scheduler {
     inner: Mutex<Inner>,
     gates: Vec<(Sender<()>, Receiver<()>)>,
+    /// Baton passes between distinct threads (a scheduler-health metric the
+    /// traced runner folds into the metrics registry).
+    handoffs: AtomicU64,
+    /// Barrier arrivals.
+    barrier_arrivals: AtomicU64,
 }
 
 impl Scheduler {
@@ -58,7 +64,19 @@ impl Scheduler {
                 n,
             }),
             gates: (0..n).map(|_| bounded(1)).collect(),
+            handoffs: AtomicU64::new(0),
+            barrier_arrivals: AtomicU64::new(0),
         }
+    }
+
+    /// Baton passes so far (deterministic, since the schedule is).
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Barrier arrivals so far.
+    pub fn barrier_arrivals(&self) -> u64 {
+        self.barrier_arrivals.load(Ordering::Relaxed)
     }
 
     /// Number of threads.
@@ -90,6 +108,7 @@ impl Scheduler {
         if next == tid {
             return;
         }
+        self.handoffs.fetch_add(1, Ordering::Relaxed);
         self.gates[next].0.send(()).expect("worker gone");
         self.gates[tid].1.recv().expect("scheduler channel closed");
     }
@@ -116,6 +135,7 @@ impl Scheduler {
     /// Barrier: park until every unfinished thread arrives; everyone
     /// resumes at the latest arrival time, which is returned.
     pub fn barrier(&self, tid: usize, t: Cycle) -> Cycle {
+        self.barrier_arrivals.fetch_add(1, Ordering::Relaxed);
         let next = {
             let mut g = self.inner.lock();
             g.barrier_waiters.push((tid, t));

@@ -20,12 +20,7 @@ impl VersionManager for AlwaysLazy {
         self.1 += 1;
         true
     }
-    fn begin(
-        &mut self,
-        env: &mut suv_htm::vm::VmEnv,
-        core: usize,
-        lazy: bool,
-    ) -> suv_types::Cycle {
+    fn begin(&mut self, env: &mut suv_htm::vm::VmEnv, core: usize, lazy: bool) -> suv_types::Cycle {
         self.0.begin(env, core, lazy)
     }
     fn resolve_load(

@@ -40,14 +40,7 @@ impl TxGrid3 {
     }
 
     /// Transactional write of a cell.
-    pub fn write(
-        &self,
-        tx: &mut Tx<'_>,
-        cx: u64,
-        cy: u64,
-        cz: u64,
-        v: u64,
-    ) -> Result<(), Abort> {
+    pub fn write(&self, tx: &mut Tx<'_>, cx: u64, cy: u64, cz: u64, v: u64) -> Result<(), Abort> {
         tx.store(self.cell(cx, cy, cz), v)
     }
 

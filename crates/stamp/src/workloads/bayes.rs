@@ -85,7 +85,7 @@ impl Workload for Bayes {
                     sum = sum.wrapping_add(tx.load(row_b + i * 8)?);
                 }
                 tx.work(n * 6); // likelihood computation
-                // Toggle the edge a->b and update both scores.
+                                // Toggle the edge a->b and update both scores.
                 let e = tx.load(row_a + b * 8)?;
                 tx.store(row_a + b * 8, 1 - e)?;
                 let sa = tx.load(scores + a * 8)?;

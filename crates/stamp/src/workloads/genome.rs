@@ -86,12 +86,14 @@ impl Workload for Genome {
             let chained = self.chained;
             let succ = seg % self.gene_len + 1;
             ctx.txn(TxSite(41), |tx| {
-                if segments.get(tx, seg)?.is_some() && segments.get(tx, succ)?.is_some()
-                    && chain.insert(tx, seg, succ)? {
-                        let n = tx.load(chained)?;
-                        tx.work(10);
-                        tx.store(chained, n + 1)?;
-                    }
+                if segments.get(tx, seg)?.is_some()
+                    && segments.get(tx, succ)?.is_some()
+                    && chain.insert(tx, seg, succ)?
+                {
+                    let n = tx.load(chained)?;
+                    tx.work(10);
+                    tx.store(chained, n + 1)?;
+                }
                 Ok(())
             });
             ctx.work(40);

@@ -54,11 +54,22 @@ impl Labyrinth {
 
     /// The cells of the L-shaped path from `src` to `dst` on `layer`,
     /// bending at `(dst.0, src.1)` or `(src.0, dst.1)`.
-    fn l_path(src: (u64, u64), dst: (u64, u64), layer: u64, bend_first_x: bool) -> Vec<(u64, u64, u64)> {
+    fn l_path(
+        src: (u64, u64),
+        dst: (u64, u64),
+        layer: u64,
+        bend_first_x: bool,
+    ) -> Vec<(u64, u64, u64)> {
         let mut cells = Vec::new();
         let (sx, sy) = src;
         let (dx, dy) = dst;
-        let xs = |a: u64, b: u64| if a <= b { (a..=b).collect::<Vec<_>>() } else { (b..=a).rev().collect() };
+        let xs = |a: u64, b: u64| {
+            if a <= b {
+                (a..=b).collect::<Vec<_>>()
+            } else {
+                (b..=a).rev().collect()
+            }
+        };
         if bend_first_x {
             for x in xs(sx, dx) {
                 cells.push((x, sy, layer));
@@ -160,8 +171,7 @@ impl Workload for Labyrinth {
     }
 
     fn verify(&self, ctx: &mut SetupCtx<'_>) {
-        let claimed: u64 =
-            (0..self.threads as u64).map(|t| ctx.peek(self.claimed + t * 64)).sum();
+        let claimed: u64 = (0..self.threads as u64).map(|t| ctx.peek(self.claimed + t * 64)).sum();
         let total = self.x * self.y * self.z;
         let free = self.grid.count_setup(ctx, FREE);
         assert_eq!(total - free, claimed, "claimed cells must match path bookkeeping");

@@ -44,12 +44,17 @@ pub use suv_noc as noc;
 pub use suv_sig as sig;
 pub use suv_sim as sim;
 pub use suv_stamp as stamp;
+pub use suv_trace as trace;
 pub use suv_types as types;
 
 /// The things almost every user needs.
 pub mod prelude {
-    pub use crate::sim::{run_workload, Abort, RunResult, SetupCtx, ThreadCtx, Tx, Workload};
+    pub use crate::sim::{
+        run_workload, run_workload_traced, Abort, RunResult, SetupCtx, ThreadCtx, TraceConfig, Tx,
+        Workload,
+    };
     pub use crate::stamp::{by_name, high_contention_suite, stamp_suite, SuiteScale};
+    pub use crate::trace::{chrome_trace_json, summary_report, TraceEvent, TraceOutput, Tracer};
     pub use crate::types::{
         Breakdown, BreakdownKind, MachineConfig, MachineStats, SchemeKind, TxSite,
     };

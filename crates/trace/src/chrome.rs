@@ -1,0 +1,318 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Produces the ["Trace Event Format"] JSON object form:
+//! `{"traceEvents": [...]}`. Load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Mapping:
+//!
+//! * pid 0 = the simulated chip; tid = core id (named via metadata events);
+//! * transactions become `"X"` (complete) events spanning begin → commit /
+//!   abort (including the isolation window), with site / mode / outcome in
+//!   `args`;
+//! * stalls, backoffs, barrier waits and commit arbitration become short
+//!   `"X"` events so contention is visible as nested spans;
+//! * everything else (misses, NACKs, pool allocations, swap-outs, ...)
+//!   becomes thread-scoped `"i"` (instant) events.
+//!
+//! Timestamps are simulated cycles reported as microseconds — absolute
+//! units don't matter for inspection, relative ones do.
+//!
+//! ["Trace Event Format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json::Json;
+use suv_types::Cycle;
+
+/// A begun-but-not-yet-finished transaction on one core.
+struct OpenTx {
+    t: Cycle,
+    site: u32,
+    lazy: bool,
+}
+
+/// Render `records` as a Chrome-trace JSON document. `n_cores` drives the
+/// thread-name metadata; `dropped` is surfaced in the document's metadata
+/// so truncated rings are visible in the viewer.
+pub fn chrome_trace_json(records: &[TraceRecord], n_cores: usize, dropped: u64) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + n_cores + 2);
+    events.push(Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::U64(0)),
+        ("args", Json::obj([("name", Json::from("suv-sim"))])),
+    ]));
+    for core in 0..n_cores {
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(core as u64)),
+            ("args", Json::obj([("name", Json::from(format!("core {core}")))])),
+        ]));
+    }
+
+    let mut open: Vec<Option<OpenTx>> = (0..n_cores.max(1)).map(|_| None).collect();
+    for rec in records {
+        if rec.core >= open.len() {
+            open.resize_with(rec.core + 1, || None);
+        }
+        match rec.ev {
+            TraceEvent::TxBegin { site, lazy } => {
+                // A ring that dropped the matching end leaves a stale open
+                // tx; overwrite it (its end event was never retained).
+                open[rec.core] = Some(OpenTx { t: rec.t, site, lazy });
+            }
+            TraceEvent::TxCommit { window, committing } => match open[rec.core].take() {
+                Some(tx) => events.push(complete(
+                    format!("tx@{}", tx.site),
+                    "tx",
+                    tx.t,
+                    rec.t + window - tx.t,
+                    rec.core,
+                    vec![
+                        ("site".to_string(), Json::U64(tx.site as u64)),
+                        ("lazy".to_string(), Json::Bool(tx.lazy)),
+                        ("outcome".to_string(), Json::from("commit")),
+                        ("committing".to_string(), Json::U64(committing)),
+                    ],
+                )),
+                None => events.push(instant("tx_commit", rec.t, rec.core, vec![])),
+            },
+            TraceEvent::TxAbort { window } => match open[rec.core].take() {
+                Some(tx) => events.push(complete(
+                    format!("tx@{}!", tx.site),
+                    "tx",
+                    tx.t,
+                    rec.t + window - tx.t,
+                    rec.core,
+                    vec![
+                        ("site".to_string(), Json::U64(tx.site as u64)),
+                        ("lazy".to_string(), Json::Bool(tx.lazy)),
+                        ("outcome".to_string(), Json::from("abort")),
+                    ],
+                )),
+                None => events.push(instant("tx_abort", rec.t, rec.core, vec![])),
+            },
+            TraceEvent::Stall { line, cycles } => events.push(complete(
+                "stall".to_string(),
+                "contention",
+                rec.t,
+                cycles,
+                rec.core,
+                vec![("line".to_string(), Json::U64(line))],
+            )),
+            TraceEvent::Backoff { cycles } => events.push(complete(
+                "backoff".to_string(),
+                "contention",
+                rec.t,
+                cycles,
+                rec.core,
+                vec![],
+            )),
+            TraceEvent::BarrierWait { cycles } => events.push(complete(
+                "barrier".to_string(),
+                "sync",
+                rec.t.saturating_sub(cycles),
+                cycles,
+                rec.core,
+                vec![],
+            )),
+            TraceEvent::CommitArbitration { wait } => events.push(complete(
+                "commit_arbitration".to_string(),
+                "lazy",
+                rec.t,
+                wait,
+                rec.core,
+                vec![],
+            )),
+            ev => {
+                let (p0, p1) = ev.payload();
+                let mut args = Vec::new();
+                // Payload words are opaque but better than nothing; named
+                // fields for the common cases.
+                match ev {
+                    TraceEvent::TxRead { line }
+                    | TraceEvent::TxWrite { line }
+                    | TraceEvent::L1Miss { line }
+                    | TraceEvent::L2Miss { line }
+                    | TraceEvent::SpecEviction { line }
+                    | TraceEvent::TableSwapOut { line } => {
+                        args.push(("line".to_string(), Json::U64(line)));
+                    }
+                    TraceEvent::Nack { requester, must_abort } => {
+                        args.push(("requester".to_string(), Json::U64(requester as u64)));
+                        args.push(("must_abort".to_string(), Json::Bool(must_abort)));
+                    }
+                    TraceEvent::UndoWalk { entries } => {
+                        args.push(("entries".to_string(), Json::U64(entries)));
+                    }
+                    TraceEvent::GangInvalidate { lines }
+                    | TraceEvent::WriteBufferDrain { lines } => {
+                        args.push(("lines".to_string(), Json::U64(lines)));
+                    }
+                    TraceEvent::RedirectLookup { level } => {
+                        args.push(("level".to_string(), Json::from(level.label())));
+                    }
+                    TraceEvent::PoolAlloc { fresh_page } => {
+                        args.push(("fresh_page".to_string(), Json::Bool(fresh_page)));
+                    }
+                    _ => {
+                        if (p0, p1) != (0, 0) {
+                            args.push(("p0".to_string(), Json::U64(p0)));
+                            args.push(("p1".to_string(), Json::U64(p1)));
+                        }
+                    }
+                }
+                events.push(instant(ev.kind_name(), rec.t, rec.core, args));
+            }
+        }
+    }
+    // Transactions still open at the end of the stream (or whose end was
+    // dropped): surface their begins as instants.
+    for (core, slot) in open.iter_mut().enumerate() {
+        if let Some(tx) = slot.take() {
+            events.push(instant(
+                "tx_begin_unclosed",
+                tx.t,
+                core,
+                vec![("site".to_string(), Json::U64(tx.site as u64))],
+            ));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("generator", Json::from("suv-trace")),
+                ("dropped_events", Json::U64(dropped)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn complete(
+    name: String,
+    cat: &'static str,
+    ts: Cycle,
+    dur: Cycle,
+    core: usize,
+    args: Vec<(String, Json)>,
+) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(name)),
+        ("cat".to_string(), Json::from(cat)),
+        ("ph".to_string(), Json::from("X")),
+        ("ts".to_string(), Json::U64(ts)),
+        ("dur".to_string(), Json::U64(dur.max(1))),
+        ("pid".to_string(), Json::U64(0)),
+        ("tid".to_string(), Json::U64(core as u64)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+fn instant(name: &'static str, ts: Cycle, core: usize, args: Vec<(String, Json)>) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::from(name)),
+        ("cat".to_string(), Json::from("mem")),
+        ("ph".to_string(), Json::from("i")),
+        ("s".to_string(), Json::from("t")),
+        ("ts".to_string(), Json::U64(ts)),
+        ("pid".to_string(), Json::U64(0)),
+        ("tid".to_string(), Json::U64(core as u64)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent as E;
+
+    fn rec(t: u64, core: usize, ev: E) -> TraceRecord {
+        TraceRecord { t, core, ev }
+    }
+
+    #[test]
+    fn pairs_begin_and_commit_into_complete_event() {
+        let records = vec![
+            rec(10, 0, E::TxBegin { site: 3, lazy: false }),
+            rec(15, 0, E::TxRead { line: 0x40 }),
+            rec(30, 0, E::TxCommit { window: 5, committing: 0 }),
+        ];
+        let json = chrome_trace_json(&records, 2, 0);
+        assert!(json.contains(r#""name":"tx@3""#), "{json}");
+        assert!(json.contains(r#""ts":10"#));
+        assert!(json.contains(r#""dur":25"#), "{json}");
+        assert!(json.contains(r#""outcome":"commit""#));
+        assert!(json.contains(r#""name":"tx_read""#));
+        assert!(json.contains(r#""traceEvents""#));
+    }
+
+    #[test]
+    fn abort_is_marked() {
+        let records = vec![
+            rec(0, 1, E::TxBegin { site: 7, lazy: true }),
+            rec(9, 1, E::TxAbort { window: 2 }),
+        ];
+        let json = chrome_trace_json(&records, 2, 0);
+        assert!(json.contains(r#""name":"tx@7!""#));
+        assert!(json.contains(r#""outcome":"abort""#));
+        assert!(json.contains(r#""lazy":true"#));
+    }
+
+    #[test]
+    fn unmatched_end_and_unclosed_begin_degrade_gracefully() {
+        let records = vec![
+            rec(5, 0, E::TxCommit { window: 1, committing: 0 }), // begin dropped
+            rec(9, 0, E::TxBegin { site: 1, lazy: false }),      // never ends
+        ];
+        let json = chrome_trace_json(&records, 1, 12);
+        assert!(json.contains(r#""name":"tx_commit""#));
+        assert!(json.contains(r#""name":"tx_begin_unclosed""#));
+        assert!(json.contains(r#""dropped_events":12"#));
+    }
+
+    #[test]
+    fn output_is_balanced_json() {
+        let records: Vec<TraceRecord> = (0..50)
+            .map(|i| {
+                rec(
+                    i,
+                    (i % 4) as usize,
+                    if i % 3 == 0 {
+                        E::L1Miss { line: i * 64 }
+                    } else {
+                        E::Stall { line: i * 64, cycles: 3 }
+                    },
+                )
+            })
+            .collect();
+        let json = chrome_trace_json(&records, 4, 0);
+        let mut depth_brace = 0i64;
+        let mut depth_bracket = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth_brace += 1,
+                '}' if !in_str => depth_brace -= 1,
+                '[' if !in_str => depth_bracket += 1,
+                ']' if !in_str => depth_bracket -= 1,
+                _ => {}
+            }
+            assert!(depth_brace >= 0 && depth_bracket >= 0);
+        }
+        assert_eq!(depth_brace, 0);
+        assert_eq!(depth_bracket, 0);
+        assert!(!in_str);
+    }
+}

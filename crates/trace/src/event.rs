@@ -1,0 +1,318 @@
+//! The typed event vocabulary.
+//!
+//! Events are small `Copy` values: the hot path moves at most three words.
+//! Every event answers three questions — *when* (cycle), *where* (core) and
+//! *what* (the variant + payload). Scheme-specific detail rides in the
+//! payload: undo-log walk lengths for LogTM-SE, redirect hit levels and
+//! pool allocations for SUV, commit-arbitration windows for lazy/DynTM.
+
+use suv_types::{CoreId, Cycle};
+
+/// Which level of the redirect structure answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedirectLevel {
+    /// The summary signature filtered the access (no lookup at all).
+    Filtered,
+    /// Per-core L1 redirect table hit.
+    L1,
+    /// Shared L2 redirect table hit.
+    L2,
+    /// Entry had been swapped out; resolved from the in-memory table.
+    Memory,
+}
+
+impl RedirectLevel {
+    /// Stable small id (hashing / export).
+    pub fn id(self) -> u64 {
+        match self {
+            RedirectLevel::Filtered => 0,
+            RedirectLevel::L1 => 1,
+            RedirectLevel::L2 => 2,
+            RedirectLevel::Memory => 3,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RedirectLevel::Filtered => "filtered",
+            RedirectLevel::L1 => "l1",
+            RedirectLevel::L2 => "l2",
+            RedirectLevel::Memory => "memory",
+        }
+    }
+}
+
+/// One simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Outermost transaction began at static `site` (lazy = deferred
+    /// conflict detection, the DynTM lazy mode).
+    TxBegin {
+        /// Static transaction site id.
+        site: u32,
+        /// Running in lazy mode?
+        lazy: bool,
+    },
+    /// Transactional load completed on `line`.
+    TxRead {
+        /// Cache line (byte address of the line base).
+        line: u64,
+    },
+    /// Transactional store completed on `line`.
+    TxWrite {
+        /// Cache line (byte address of the line base).
+        line: u64,
+    },
+    /// This core's transaction NACKed a request from `requester`
+    /// (attributed to the *defending* core; pairs with the requester's
+    /// [`TraceEvent::Stall`]).
+    Nack {
+        /// The core whose request was refused.
+        requester: u32,
+        /// Possible-cycle rule fired: the requester must abort.
+        must_abort: bool,
+    },
+    /// The core's access to `line` was NACKed and it stalls `cycles`.
+    /// Emitted exactly once per `nacks_received` increment.
+    Stall {
+        /// Conflicting line.
+        line: u64,
+        /// Stall duration charged for this retry.
+        cycles: u64,
+    },
+    /// Outermost transaction aborted; isolation window stays open `window`
+    /// cycles (the version manager's repair time).
+    TxAbort {
+        /// Abort/repair window length.
+        window: u64,
+    },
+    /// Outermost transaction committed.
+    TxCommit {
+        /// Total commit latency.
+        window: u64,
+        /// Portion attributable to lazy arbitration + merge.
+        committing: u64,
+    },
+    /// Randomized exponential backoff after an abort.
+    Backoff {
+        /// Backoff length drawn.
+        cycles: u64,
+    },
+    /// Lazy committer waited `wait` cycles for the chip-wide commit token
+    /// (includes the fixed arbitration latency).
+    CommitArbitration {
+        /// Arbitration wait.
+        wait: u64,
+    },
+    /// LogTM-SE-style software abort walked `entries` undo-log records.
+    UndoWalk {
+        /// Undo records replayed.
+        entries: u64,
+    },
+    /// FasTM fast abort gang-invalidated `lines` speculative L1 lines.
+    GangInvalidate {
+        /// Lines invalidated.
+        lines: u64,
+    },
+    /// Lazy commit drained `lines` write-buffer lines into memory.
+    WriteBufferDrain {
+        /// Lines merged.
+        lines: u64,
+    },
+    /// SUV redirect lookup answered at `level`.
+    RedirectLookup {
+        /// Answering level.
+        level: RedirectLevel,
+    },
+    /// SUV allocated a pool slot for a new redirected line.
+    PoolAlloc {
+        /// The allocation opened a fresh pool page (extra OS cost).
+        fresh_page: bool,
+    },
+    /// SUV redirect-back: a store hit a committed redirect entry and
+    /// reclaimed the original location instead of allocating a slot.
+    RedirectBack,
+    /// A redirect-table entry for `line` was swapped out to the in-memory
+    /// table (L2 redirect table full).
+    TableSwapOut {
+        /// Affected line.
+        line: u64,
+    },
+    /// L1 miss on `line` (fill issued to L2/directory).
+    L1Miss {
+        /// Missing line.
+        line: u64,
+    },
+    /// L2 miss on `line` (fill served from memory).
+    L2Miss {
+        /// Missing line.
+        line: u64,
+    },
+    /// A speculatively-written L1 line was evicted mid-transaction (the
+    /// overflow path that degenerates FasTM and fills Table V).
+    SpecEviction {
+        /// Evicted line.
+        line: u64,
+    },
+    /// Thread waited `cycles` at the program barrier.
+    BarrierWait {
+        /// Wait length.
+        cycles: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind id (hashing; never reorder existing entries).
+    pub fn kind_id(&self) -> u64 {
+        match self {
+            TraceEvent::TxBegin { .. } => 1,
+            TraceEvent::TxRead { .. } => 2,
+            TraceEvent::TxWrite { .. } => 3,
+            TraceEvent::Nack { .. } => 4,
+            TraceEvent::Stall { .. } => 5,
+            TraceEvent::TxAbort { .. } => 6,
+            TraceEvent::TxCommit { .. } => 7,
+            TraceEvent::Backoff { .. } => 8,
+            TraceEvent::CommitArbitration { .. } => 9,
+            TraceEvent::UndoWalk { .. } => 10,
+            TraceEvent::GangInvalidate { .. } => 11,
+            TraceEvent::WriteBufferDrain { .. } => 12,
+            TraceEvent::RedirectLookup { .. } => 13,
+            TraceEvent::PoolAlloc { .. } => 14,
+            TraceEvent::RedirectBack => 15,
+            TraceEvent::TableSwapOut { .. } => 16,
+            TraceEvent::L1Miss { .. } => 17,
+            TraceEvent::L2Miss { .. } => 18,
+            TraceEvent::SpecEviction { .. } => 19,
+            TraceEvent::BarrierWait { .. } => 20,
+        }
+    }
+
+    /// Stable kind name (metrics keys, summaries, Chrome event names).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::TxRead { .. } => "tx_read",
+            TraceEvent::TxWrite { .. } => "tx_write",
+            TraceEvent::Nack { .. } => "nack",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::TxAbort { .. } => "tx_abort",
+            TraceEvent::TxCommit { .. } => "tx_commit",
+            TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::CommitArbitration { .. } => "commit_arbitration",
+            TraceEvent::UndoWalk { .. } => "undo_walk",
+            TraceEvent::GangInvalidate { .. } => "gang_invalidate",
+            TraceEvent::WriteBufferDrain { .. } => "write_buffer_drain",
+            TraceEvent::RedirectLookup { .. } => "redirect_lookup",
+            TraceEvent::PoolAlloc { .. } => "pool_alloc",
+            TraceEvent::RedirectBack => "redirect_back",
+            TraceEvent::TableSwapOut { .. } => "table_swap_out",
+            TraceEvent::L1Miss { .. } => "l1_miss",
+            TraceEvent::L2Miss { .. } => "l2_miss",
+            TraceEvent::SpecEviction { .. } => "spec_eviction",
+            TraceEvent::BarrierWait { .. } => "barrier_wait",
+        }
+    }
+
+    /// Two payload words folded into the trace hash (exhaustive over every
+    /// field so any behavioural divergence changes the hash).
+    pub fn payload(&self) -> (u64, u64) {
+        match *self {
+            TraceEvent::TxBegin { site, lazy } => (site as u64, lazy as u64),
+            TraceEvent::TxRead { line } => (line, 0),
+            TraceEvent::TxWrite { line } => (line, 0),
+            TraceEvent::Nack { requester, must_abort } => (requester as u64, must_abort as u64),
+            TraceEvent::Stall { line, cycles } => (line, cycles),
+            TraceEvent::TxAbort { window } => (window, 0),
+            TraceEvent::TxCommit { window, committing } => (window, committing),
+            TraceEvent::Backoff { cycles } => (cycles, 0),
+            TraceEvent::CommitArbitration { wait } => (wait, 0),
+            TraceEvent::UndoWalk { entries } => (entries, 0),
+            TraceEvent::GangInvalidate { lines } => (lines, 0),
+            TraceEvent::WriteBufferDrain { lines } => (lines, 0),
+            TraceEvent::RedirectLookup { level } => (level.id(), 0),
+            TraceEvent::PoolAlloc { fresh_page } => (fresh_page as u64, 0),
+            TraceEvent::RedirectBack => (0, 0),
+            TraceEvent::TableSwapOut { line } => (line, 0),
+            TraceEvent::L1Miss { line } => (line, 0),
+            TraceEvent::L2Miss { line } => (line, 0),
+            TraceEvent::SpecEviction { line } => (line, 0),
+            TraceEvent::BarrierWait { cycles } => (cycles, 0),
+        }
+    }
+
+    /// The event's magnitude, if it has one (drives the automatic
+    /// histograms: stall lengths, backoff draws, undo-walk lengths, ...).
+    pub fn magnitude(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Stall { cycles, .. }
+            | TraceEvent::Backoff { cycles }
+            | TraceEvent::BarrierWait { cycles } => Some(cycles),
+            TraceEvent::TxAbort { window } => Some(window),
+            TraceEvent::TxCommit { window, .. } => Some(window),
+            TraceEvent::CommitArbitration { wait } => Some(wait),
+            TraceEvent::UndoWalk { entries } => Some(entries),
+            TraceEvent::GangInvalidate { lines } => Some(lines),
+            TraceEvent::WriteBufferDrain { lines } => Some(lines),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: when, where, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global cycle at which the event happened.
+    pub t: Cycle,
+    /// Core (== simulated thread) the event is attributed to.
+    pub core: CoreId,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_ids_are_unique() {
+        let events = [
+            TraceEvent::TxBegin { site: 0, lazy: false },
+            TraceEvent::TxRead { line: 0 },
+            TraceEvent::TxWrite { line: 0 },
+            TraceEvent::Nack { requester: 0, must_abort: false },
+            TraceEvent::Stall { line: 0, cycles: 0 },
+            TraceEvent::TxAbort { window: 0 },
+            TraceEvent::TxCommit { window: 0, committing: 0 },
+            TraceEvent::Backoff { cycles: 0 },
+            TraceEvent::CommitArbitration { wait: 0 },
+            TraceEvent::UndoWalk { entries: 0 },
+            TraceEvent::GangInvalidate { lines: 0 },
+            TraceEvent::WriteBufferDrain { lines: 0 },
+            TraceEvent::RedirectLookup { level: RedirectLevel::L1 },
+            TraceEvent::PoolAlloc { fresh_page: false },
+            TraceEvent::RedirectBack,
+            TraceEvent::TableSwapOut { line: 0 },
+            TraceEvent::L1Miss { line: 0 },
+            TraceEvent::L2Miss { line: 0 },
+            TraceEvent::SpecEviction { line: 0 },
+            TraceEvent::BarrierWait { cycles: 0 },
+        ];
+        let mut ids: Vec<u64> = events.iter().map(|e| e.kind_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), events.len(), "duplicate kind ids");
+        let mut names: Vec<&str> = events.iter().map(|e| e.kind_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len(), "duplicate kind names");
+    }
+
+    #[test]
+    fn payload_distinguishes_fields() {
+        let a = TraceEvent::TxCommit { window: 10, committing: 3 };
+        let b = TraceEvent::TxCommit { window: 10, committing: 4 };
+        assert_ne!(a.payload(), b.payload());
+    }
+}

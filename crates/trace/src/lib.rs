@@ -1,0 +1,42 @@
+//! `suv-trace`: cycle-stamped structured event tracing for the simulator.
+//!
+//! The engine exposes end-of-run aggregates in `MachineStats`, which is
+//! enough to plot Figure 6 but useless for diagnosing *when* transactions
+//! stall, abort, overflow or commit. This crate adds the observability
+//! layer:
+//!
+//! * a typed [`TraceEvent`] vocabulary covering the transaction lifecycle
+//!   (begin / read / write / NACK / stall / abort / backoff / commit, with
+//!   scheme-specific payloads) plus memory-system events (L1/L2 miss,
+//!   speculative eviction, redirect-table swap-out);
+//! * a [`TraceSink`] trait with a zero-cost disabled default and a bounded
+//!   [`RingRecorder`];
+//! * the [`Tracer`] facade the engine embeds: one `bool` test on the
+//!   disabled hot path, plus a streaming 64-bit FNV-1a hash over *every*
+//!   emitted event — independent of ring capacity, so the hash is a
+//!   bit-reproducibility oracle even when the ring drops old events;
+//! * a counter/histogram [`MetricsRegistry`] fed automatically from the
+//!   event stream;
+//! * a Chrome-trace JSON exporter ([`chrome_trace_json`]) producing files
+//!   loadable in `chrome://tracing` / Perfetto, and a textual
+//!   [`summary_report`] for quick terminal triage.
+//!
+//! The crate depends only on `suv-types`, so every layer of the simulator
+//! (coherence, HTM machine, version managers, scheduler, runner) can hook
+//! into it without dependency cycles.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+pub mod tracer;
+
+pub use chrome::chrome_trace_json;
+pub use event::{RedirectLevel, TraceEvent, TraceRecord};
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{NullSink, RingRecorder, TraceSink};
+pub use summary::summary_report;
+pub use tracer::{TraceOutput, Tracer};

@@ -1,0 +1,119 @@
+//! Trace sinks: where recorded events go.
+
+use crate::event::TraceRecord;
+use std::collections::VecDeque;
+
+/// Destination for recorded events.
+///
+/// The engine never calls a sink directly — it goes through
+/// [`crate::Tracer`], whose disabled path is a single branch. Sinks only
+/// see events when tracing is on.
+pub trait TraceSink: Send {
+    /// Accept one event.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Hand back everything retained, oldest first. Sinks that retain
+    /// nothing return an empty vec (the default).
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// Events accepted but not retained (ring overwrite).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Sink that discards everything (the default inside a disabled tracer;
+/// also useful to measure pure hashing/metrics overhead).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity` events,
+/// counting what it had to drop. Memory use is bounded regardless of run
+/// length; the trace *hash* (kept by the tracer, not the sink) still covers
+/// every event.
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Recorder retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder { buf: VecDeque::with_capacity(capacity.min(1 << 16)), capacity, dropped: 0 }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// No events retained?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*rec);
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.buf).into()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord { t, core: 0, ev: TraceEvent::TxRead { line: t * 64 } }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = RingRecorder::new(3);
+        for t in 0..5 {
+            r.record(&rec(t));
+        }
+        assert_eq!(r.dropped(), 2);
+        let drained = r.drain();
+        assert_eq!(drained.iter().map(|r| r.t).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let mut s = NullSink;
+        s.record(&rec(1));
+        assert!(s.drain().is_empty());
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut r = RingRecorder::new(0);
+        r.record(&rec(1));
+        r.record(&rec(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Tracer`] facade the engine embeds.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use crate::sink::{NullSink, RingRecorder, TraceSink};
+use suv_types::{CoreId, Cycle};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Everything a finished tracer hands back to the runner.
+#[derive(Debug, Clone)]
+pub struct TraceOutput {
+    /// Streaming FNV-1a hash over every emitted event (0 when tracing was
+    /// disabled). Independent of ring capacity — the bit-reproducibility
+    /// oracle.
+    pub hash: u64,
+    /// Total events emitted (including any the ring dropped).
+    pub events: u64,
+    /// Events the sink could not retain.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Counters and histograms accumulated from the stream.
+    pub metrics: MetricsRegistry,
+}
+
+/// Embedded tracing front-end: one branch when disabled, full hashing +
+/// metrics + sink recording when enabled.
+pub struct Tracer {
+    /// Cached enabled flag — the only thing the hot path reads.
+    enabled: bool,
+    hash: u64,
+    events: u64,
+    sink: Box<dyn TraceSink>,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("events", &self.events)
+            .field("hash", &self.hash)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// The zero-cost default: `emit` is a branch on a cached bool.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            hash: 0,
+            events: 0,
+            sink: Box::new(NullSink),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Enabled tracer feeding `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Tracer { enabled: true, hash: FNV_OFFSET, events: 0, sink, metrics: MetricsRegistry::new() }
+    }
+
+    /// Enabled tracer over a bounded ring of `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer::with_sink(Box::new(RingRecorder::new(capacity)))
+    }
+
+    /// Is tracing on? Callers that would pay to *assemble* an event (take
+    /// a lock, walk a structure) should check this first; plain `emit`
+    /// calls don't need to.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event. When disabled this is a single predictable
+    /// branch — the engine calls it unconditionally from its hot paths.
+    #[inline]
+    pub fn emit(&mut self, t: Cycle, core: CoreId, ev: TraceEvent) {
+        if self.enabled {
+            self.emit_enabled(t, core, ev);
+        }
+    }
+
+    #[inline(never)]
+    fn emit_enabled(&mut self, t: Cycle, core: CoreId, ev: TraceEvent) {
+        let (p0, p1) = ev.payload();
+        let mut h = self.hash;
+        for word in [t, core as u64, ev.kind_id(), p0, p1] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.hash = h;
+        self.events += 1;
+        self.metrics.inc(ev.kind_name(), 1);
+        if let Some(m) = ev.magnitude() {
+            self.metrics.observe(ev.kind_name(), m);
+        }
+        self.sink.record(&TraceRecord { t, core, ev });
+    }
+
+    /// The streaming hash so far (0 when disabled).
+    pub fn hash(&self) -> u64 {
+        if self.enabled {
+            self.hash
+        } else {
+            0
+        }
+    }
+
+    /// Events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (the runner folds scheduler counters in).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Tear down into the final output.
+    pub fn finish(mut self) -> TraceOutput {
+        TraceOutput {
+            hash: if self.enabled { self.hash } else { 0 },
+            events: self.events,
+            dropped: self.sink.dropped(),
+            records: self.sink.drain(),
+            metrics: self.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(line: u64) -> TraceEvent {
+        TraceEvent::TxWrite { line }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.on());
+        t.emit(1, 0, ev(0x40));
+        let out = t.finish();
+        assert_eq!(out.hash, 0);
+        assert_eq!(out.events, 0);
+        assert!(out.records.is_empty());
+    }
+
+    #[test]
+    fn hash_covers_dropped_events() {
+        // Same stream, different ring capacities => same hash.
+        let mut small = Tracer::ring(2);
+        let mut large = Tracer::ring(1 << 12);
+        for i in 0..100u64 {
+            small.emit(i, 0, ev(i * 64));
+            large.emit(i, 0, ev(i * 64));
+        }
+        let (s, l) = (small.finish(), large.finish());
+        assert_eq!(s.hash, l.hash);
+        assert_eq!(s.events, l.events);
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.dropped, 98);
+        assert_eq!(l.dropped, 0);
+    }
+
+    #[test]
+    fn hash_sensitive_to_everything() {
+        let base = {
+            let mut t = Tracer::ring(8);
+            t.emit(5, 1, ev(0x80));
+            t.finish().hash
+        };
+        for (t0, c0, e0) in [
+            (6, 1, ev(0x80)),                          // time
+            (5, 2, ev(0x80)),                          // core
+            (5, 1, ev(0xc0)),                          // payload
+            (5, 1, TraceEvent::TxRead { line: 0x80 }), // kind
+        ] {
+            let mut t = Tracer::ring(8);
+            t.emit(t0, c0, e0);
+            assert_ne!(t.finish().hash, base);
+        }
+    }
+
+    #[test]
+    fn metrics_fed_from_stream() {
+        let mut t = Tracer::ring(8);
+        t.emit(1, 0, TraceEvent::Stall { line: 0x40, cycles: 10 });
+        t.emit(2, 0, TraceEvent::Stall { line: 0x40, cycles: 20 });
+        t.emit(3, 0, TraceEvent::TxCommit { window: 4, committing: 0 });
+        let out = t.finish();
+        assert_eq!(out.metrics.counter("stall"), 2);
+        assert_eq!(out.metrics.counter("tx_commit"), 1);
+        assert_eq!(out.metrics.histogram("stall").unwrap().sum(), 30);
+    }
+}

@@ -249,7 +249,7 @@ impl RedirectStats {
 }
 
 /// Everything a simulation run reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Wall-clock of the simulated region, in cycles (max over threads).
     pub cycles: Cycle,

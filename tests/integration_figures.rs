@@ -89,10 +89,7 @@ fn fig7_shape() {
         let r = run_workload(&cfg, SchemeKind::SuvTm, w.as_mut());
         rates.push(r.stats.redirect.l1_miss_rate());
     }
-    assert!(
-        rates[0] > rates[2],
-        "8-entry table must miss more than 512-entry: {rates:?}"
-    );
+    assert!(rates[0] > rates[2], "8-entry table must miss more than 512-entry: {rates:?}");
 }
 
 /// Figure 8(b)'s premise: a slower second-level table costs time. The

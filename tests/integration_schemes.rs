@@ -96,10 +96,8 @@ fn commits_equal_across_schemes_for_fixed_work() {
     // The bank does a fixed number of dynamic transactions; commit counts
     // must agree across schemes even though timing differs.
     let cfg = MachineConfig::small_test();
-    let counts: Vec<u64> = ALL_SCHEMES
-        .iter()
-        .map(|s| run_workload(&cfg, *s, &mut bank()).stats.tx.commits)
-        .collect();
+    let counts: Vec<u64> =
+        ALL_SCHEMES.iter().map(|s| run_workload(&cfg, *s, &mut bank()).stats.tx.commits).collect();
     for w in counts.windows(2) {
         assert_eq!(w[0], w[1], "commit counts diverged: {counts:?}");
     }
@@ -186,10 +184,7 @@ fn nested_transactions_flatten_correctly() {
     for scheme in [SchemeKind::LogTmSe, SchemeKind::SuvTm, SchemeKind::DynTmSuv] {
         let mut w = NestedWorkload { cell: 0, iters: 10 };
         let r = run_workload(&cfg, scheme, &mut w);
-        assert_eq!(
-            r.stats.tx.commits, 40,
-            "{scheme:?}: only outermost commits count"
-        );
+        assert_eq!(r.stats.tx.commits, 40, "{scheme:?}: only outermost commits count");
     }
 }
 

@@ -67,8 +67,7 @@ fn fixed_transaction_count_apps_agree_across_schemes() {
     // Apps whose dynamic transaction count is schedule-independent must
     // commit identical counts under every scheme.
     for app in ["kmeans", "ssca2", "vacation", "bayes"] {
-        let counts: Vec<u64> =
-            ALL_SCHEMES.iter().map(|s| run(app, *s).stats.tx.commits).collect();
+        let counts: Vec<u64> = ALL_SCHEMES.iter().map(|s| run(app, *s).stats.tx.commits).collect();
         for w in counts.windows(2) {
             assert_eq!(w[0], w[1], "{app}: commit counts diverged {counts:?}");
         }

@@ -1,0 +1,177 @@
+//! Vendored offline subset of the `crossbeam` crate API.
+//!
+//! Provides `crossbeam::channel::bounded` with `Sender`/`Receiver` that are
+//! both `Send + Sync` (the property the scheduler relies on: each worker
+//! thread calls `recv()` on its own receiver through a shared `&Scheduler`).
+//! `std::sync::mpsc::Receiver` is not `Sync`, so this is a small
+//! Mutex+Condvar channel rather than a wrapper over std.
+
+/// Multi-producer multi-consumer bounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: usize,
+        /// Signalled when the queue gains an item or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or all receivers drop.
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Create a bounded channel with capacity `cap` (min 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap: cap.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full. Errors if all
+        /// receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.0.cap {
+                    st.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a value, blocking while the channel is empty. Errors if
+        /// the channel is empty and all senders have been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+
+    #[test]
+    fn send_recv_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn baton_handoff_across_threads() {
+        let (tx, rx) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    assert_eq!(rx.recv(), Ok(i));
+                    tx2.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                tx.send(i).unwrap();
+                assert_eq!(rx2.recv(), Ok(i));
+            }
+        });
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap(); // blocks until main recvs
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
+    }
+}

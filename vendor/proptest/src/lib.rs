@@ -1,0 +1,401 @@
+//! Vendored offline subset of the `proptest` crate API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the proptest surface its property tests actually use: the `proptest!`
+//! macro, integer-range / tuple / `any` / `prop_oneof` / `prop_map`
+//! strategies, `collection::vec`, `array::uniform8`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics: each test body runs for `cases` deterministic pseudo-random
+//! inputs (seeded from the test name, so runs are reproducible). There is
+//! no shrinking — a failing case panics with the values bound by the
+//! pattern, which the assertion message already carries in these tests.
+
+pub mod strategy {
+    //! Strategy trait and combinators.
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from an arbitrary name; same name => same stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next raw 64 bits.
+        #[allow(clippy::should_implement_trait)] // mirrors upstream's name
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A source of values for one test argument.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Type-erase (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the already-boxed alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next() % self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + rng.next() as $t;
+                    }
+                    lo + (rng.next() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuples {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuples! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Types with a whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw a uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for the full domain of `T`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `Vec` of values from `elem`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next() % span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Result of [`uniform8`].
+    pub struct Uniform8<S>(S);
+
+    /// `[T; 8]` with each element drawn from `elem`.
+    pub fn uniform8<S: Strategy>(elem: S) -> Uniform8<S> {
+        Uniform8(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform8<S> {
+        type Value = [S::Value; 8];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 8] {
+            core::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the suite fast while still
+            // exercising the invariants.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of test functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::strategy::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..=4, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_tuple(ops in crate::collection::vec((0u64..8, any::<bool>()), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for (v, _) in ops {
+                prop_assert!(v < 8);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u64..4).prop_map(|x| x * 2),
+            (0u64..4).prop_map(|x| x * 2 + 1),
+        ]) {
+            prop_assert!(v < 8);
+        }
+
+        #[test]
+        fn uniform8_shape(a in crate::array::uniform8(any::<u64>())) {
+            prop_assert_eq!(a.len(), 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::strategy::{Strategy, TestRng};
+        let mut r1 = TestRng::from_name("x");
+        let mut r2 = TestRng::from_name("x");
+        let s = 0u64..1000;
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}
