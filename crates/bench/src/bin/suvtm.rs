@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! suvtm run   --app genome --scheme suv [--cores 16] [--scale paper] [--breakdown]
-//!             [--trace out.json] [--trace-summary]
+//!             [--trace out.json] [--trace-summary] [--check off|cheap|full]
 //! suvtm sweep --app yada               # all schemes on one app
 //! suvtm list                           # workloads and schemes
 //! ```
@@ -11,6 +11,13 @@
 //! Chrome Trace Event format — open it in `chrome://tracing` or Perfetto.
 //! `--trace-summary` prints a top-N per-event report to stdout instead of
 //! (or in addition to) the JSON file.
+//!
+//! `--check cheap` turns on the in-line invariant assertions (MESI,
+//! redirect table); `--check full` additionally runs the shadow-memory
+//! isolation oracle during the run, then the offline serializability and
+//! MESI-reachability oracles from `suv-check` after it (tracing is forced
+//! on so the serializability oracle has an event stream to replay). The
+//! checkers observe only — simulated cycle counts are unchanged.
 
 use suv::prelude::*;
 use suv::stamp::WORKLOAD_NAMES;
@@ -35,6 +42,7 @@ struct Opts {
     breakdown: bool,
     trace_path: Option<String>,
     trace_summary: bool,
+    check: CheckLevel,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -46,6 +54,7 @@ fn parse_opts(args: &[String]) -> Opts {
         breakdown: false,
         trace_path: None,
         trace_summary: false,
+        check: CheckLevel::Off,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,6 +72,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--breakdown" => o.breakdown = true,
+            "--check" => {
+                let s = it.next().expect("--check off|cheap|full");
+                o.check = CheckLevel::parse(s)
+                    .unwrap_or_else(|| panic!("unknown check level {s}; try off|cheap|full"));
+            }
             "--trace" => o.trace_path = Some(it.next().expect("--trace PATH").clone()),
             "--trace-summary" => o.trace_summary = true,
             other => panic!("unknown option {other}"),
@@ -71,8 +85,39 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
-fn config(cores: usize) -> MachineConfig {
-    MachineConfig { n_cores: cores, ..Default::default() }
+fn config(cores: usize, check: CheckLevel) -> MachineConfig {
+    MachineConfig { n_cores: cores, check, ..Default::default() }
+}
+
+/// Run the offline `suv-check` oracles over a finished traced run and
+/// report; returns false when a violation was found.
+fn run_oracles(r: &RunResult) -> bool {
+    let mut clean = true;
+    if let Some(out) = &r.trace {
+        let s = suv_check::check_trace(out);
+        println!(
+            "    check: serializability over {} committed tx ({} aborted, {} conflict edges): {}",
+            s.committed,
+            s.aborted,
+            s.edges,
+            if s.ok() { "ok" } else { "VIOLATED" }
+        );
+        for v in s.violations() {
+            println!("      {v}");
+        }
+        clean &= s.ok();
+    }
+    let m = suv_check::check_mesi_reachability();
+    println!(
+        "    check: MESI reachability, {} states / {} transitions: {}",
+        m.states_explored,
+        m.transitions,
+        if m.ok() { "ok" } else { "VIOLATED" }
+    );
+    for v in &m.violations {
+        println!("      {v}");
+    }
+    clean && m.ok()
 }
 
 fn report(r: &RunResult, breakdown: bool) {
@@ -114,10 +159,16 @@ fn main() {
             let o = parse_opts(&args[1..]);
             let mut w = by_name(&o.app, o.scale)
                 .unwrap_or_else(|| panic!("unknown app {}; try `suvtm list`", o.app));
-            let tracing = o.trace_path.is_some() || o.trace_summary;
+            // Full checking needs the event stream for the offline
+            // serializability oracle.
+            let tracing = o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
             let tc = tracing.then(TraceConfig::default);
-            let r = run_workload_traced(&config(o.cores), o.scheme, w.as_mut(), tc);
+            let r = run_workload_traced(&config(o.cores, o.check), o.scheme, w.as_mut(), tc);
             report(&r, o.breakdown);
+            if o.check == CheckLevel::Full && !run_oracles(&r) {
+                eprintln!("suvtm: correctness oracle reported violations");
+                std::process::exit(1);
+            }
             if let Some(out) = &r.trace {
                 println!(
                     "    trace: {} events, {} dropped, hash {:016x}",
@@ -147,7 +198,7 @@ fn main() {
             ] {
                 let mut w =
                     by_name(&o.app, o.scale).unwrap_or_else(|| panic!("unknown app {}", o.app));
-                let r = run_workload(&config(o.cores), scheme, w.as_mut());
+                let r = run_workload(&config(o.cores, o.check), scheme, w.as_mut());
                 let b = *base.get_or_insert(r.stats.cycles);
                 report(&r, o.breakdown);
                 println!("    speedup vs LogTM-SE: {:.2}x", b as f64 / r.stats.cycles as f64);
@@ -157,9 +208,10 @@ fn main() {
             println!("workloads: {}", WORKLOAD_NAMES.join(" "));
             println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
             println!("scales:    tiny paper");
+            println!("checks:    off cheap full");
         }
         _ => {
-            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown] [--trace PATH] [--trace-summary]");
+            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown] [--trace PATH] [--trace-summary] [--check off|cheap|full]");
             std::process::exit(2);
         }
     }

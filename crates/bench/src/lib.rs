@@ -1,5 +1,7 @@
 //! Shared helpers for the figure/table regenerator binaries.
 
+#![forbid(unsafe_code)]
+
 pub use suv::prelude::*;
 pub use suv::trace::Json;
 use suv::types::Cycle;

@@ -93,6 +93,13 @@ impl Directory {
     pub fn tracked_lines(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterate over every tracked line and its entry (checker support;
+    /// iteration order is unspecified, callers must not let it reach
+    /// timing).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DirEntry)> + '_ {
+        self.entries.iter().map(|(l, e)| (*l, *e))
+    }
 }
 
 #[cfg(test)]

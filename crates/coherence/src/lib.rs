@@ -21,6 +21,8 @@
 //! * GETM invalidates remote sharers (latency of the farthest, since
 //!   invalidations fly in parallel).
 
+#![forbid(unsafe_code)]
+
 pub mod mesi;
 pub mod system;
 

@@ -16,12 +16,14 @@ pub enum Mesi {
 
 impl Mesi {
     /// Can the core load from this state without a coherence request?
+    #[must_use]
     pub fn grants_load(&self) -> bool {
         true // any resident state permits loads
     }
 
     /// Can the core store to this state without a coherence request?
     /// (E upgrades to M silently.)
+    #[must_use]
     pub fn grants_store(&self) -> bool {
         matches!(self, Mesi::Modified | Mesi::Exclusive)
     }

@@ -1,10 +1,10 @@
 //! The composed memory system: L1s, L2, directory, mesh, memory banks.
 
 use crate::mesi::Mesi;
-use suv_cache::{Directory, TagArray};
+use suv_cache::{DirEntry, Directory, TagArray};
 use suv_noc::Mesh;
 use suv_trace::{TraceEvent, Tracer};
-use suv_types::{line_of, Addr, CoreId, Cycle, LineAddr, MachineConfig};
+use suv_types::{line_of, Addr, CheckLevel, CoreId, Cycle, LineAddr, MachineConfig};
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,7 @@ pub struct MemorySystem {
 
 impl MemorySystem {
     /// Build the hierarchy from a machine configuration.
+    #[must_use]
     pub fn new(cfg: &MachineConfig) -> Self {
         MemorySystem {
             cfg: *cfg,
@@ -92,16 +93,19 @@ impl MemorySystem {
     }
 
     /// The configuration this system was built with.
+    #[must_use]
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
     }
 
     /// MESI state of `addr`'s line in `core`'s L1 (None = Invalid).
+    #[must_use]
     pub fn l1_state(&self, core: CoreId, addr: Addr) -> Option<Mesi> {
         self.l1s[core].meta(line_of(addr)).map(|m| m.state)
     }
 
     /// Does `core` hold the line with enough permission for `kind`?
+    #[must_use]
     pub fn has_permission(&self, core: CoreId, addr: Addr, kind: AccessKind) -> bool {
         match self.l1_state(core, addr) {
             None => false,
@@ -115,6 +119,7 @@ impl MemorySystem {
     /// Is the line dirty in `core`'s L1? (FasTM consults this before its
     /// first speculative write to decide whether a write-back of the old
     /// value is needed.)
+    #[must_use]
     pub fn is_dirty_in_l1(&self, core: CoreId, addr: Addr) -> bool {
         self.l1s[core].is_dirty(line_of(addr))
     }
@@ -266,7 +271,109 @@ impl MemorySystem {
         let meta = self.l1s[core].meta_mut(line).expect("just inserted");
         meta.state = new_state;
 
+        // Runtime invariant checking (never charged simulated cycles).
+        if self.cfg.check >= CheckLevel::Cheap {
+            self.assert_line_ok(line);
+            if let Some(ev) = &evicted {
+                self.assert_line_ok(ev.line);
+            }
+            // Full level additionally sweeps the whole directory, throttled
+            // to every 64th miss to keep test wall-time bounded (the HTM
+            // layer also sweeps at every transaction boundary).
+            if self.cfg.check >= CheckLevel::Full && self.stats.l1_misses.is_multiple_of(64) {
+                if let Err(v) = self.check_invariants() {
+                    panic!("coherence invariant violated after fill: {v}");
+                }
+            }
+        }
+
         FillOutcome { latency, evicted, cache_to_cache, from_memory }
+    }
+
+    fn assert_line_ok(&self, line: LineAddr) {
+        if let Err(v) = self.check_line_invariants(line) {
+            panic!("coherence invariant violated after fill: {v}");
+        }
+    }
+
+    /// Check the MESI/directory invariants for one line (INV-1..INV-4 in
+    /// DESIGN.md). Returns a description of the first violation found.
+    pub fn check_line_invariants(&self, line: LineAddr) -> Result<(), String> {
+        let entry = self.dir.peek(line);
+        let mut holders = 0u64;
+        let mut exclusive: Option<CoreId> = None;
+        for c in 0..self.cfg.n_cores {
+            if let Some(m) = self.l1s[c].meta(line) {
+                holders |= 1 << c;
+                if matches!(m.state, Mesi::Modified | Mesi::Exclusive) {
+                    // INV-1: at most one core in M/E.
+                    if let Some(first) = exclusive {
+                        return Err(format!(
+                            "INV-1 line {line:#x}: cores {first} and {c} both exclusive"
+                        ));
+                    }
+                    exclusive = Some(c);
+                }
+            }
+        }
+        // INV-2: an exclusive holder is the sole holder.
+        if let Some(o) = exclusive {
+            if holders != 1 << o {
+                return Err(format!(
+                    "INV-2 line {line:#x}: core {o} exclusive but holders={holders:#b}"
+                ));
+            }
+            if entry.owner != Some(o) {
+                return Err(format!(
+                    "INV-4 line {line:#x}: core {o} in M/E but directory owner is {:?}",
+                    entry.owner
+                ));
+            }
+        }
+        // INV-3: the directory bit-vector is a superset of the real holders.
+        if holders & !entry.sharers != 0 {
+            return Err(format!(
+                "INV-3 line {line:#x}: holders {holders:#b} not covered by sharers {:#b}",
+                entry.sharers
+            ));
+        }
+        // INV-4: a recorded owner actually holds the line in M or E.
+        if let Some(o) = entry.owner {
+            match self.l1s[o].meta(line).map(|m| m.state) {
+                Some(Mesi::Modified | Mesi::Exclusive) => {}
+                other => {
+                    return Err(format!(
+                        "INV-4 line {line:#x}: directory owner {o} holds {other:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweep every directory-tracked line and every L1-resident line
+    /// through [`Self::check_line_invariants`]. `Err` carries the first
+    /// violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, _) in self.dir.iter() {
+            self.check_line_invariants(line)?;
+        }
+        // Lines resident in an L1 but absent from the directory would be
+        // skipped above (a dropped sharer bit erases the entry), so sweep
+        // the caches too.
+        for c in 0..self.cfg.n_cores {
+            for line in self.l1s[c].resident_lines().collect::<Vec<_>>() {
+                self.check_line_invariants(line)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection for checker self-tests: silently drop `core`'s
+    /// sharer bit from the directory while leaving its L1 copy resident —
+    /// the seeded INV-3 bug the oracle must catch.
+    pub fn inject_drop_sharer(&mut self, addr: Addr, core: CoreId) {
+        self.dir.remove_sharer(line_of(addr), core);
     }
 
     /// [`fill`](Self::fill), plus trace events for the miss: an `L1Miss`
@@ -340,12 +447,20 @@ impl MemorySystem {
         }
     }
 
+    /// Directory entry for `addr`'s line (checker state fingerprinting).
+    #[must_use]
+    pub fn dir_entry(&self, addr: Addr) -> DirEntry {
+        self.dir.peek(line_of(addr))
+    }
+
     /// Statistics snapshot.
+    #[must_use]
     pub fn stats(&self) -> MemStats {
         self.stats
     }
 
     /// Number of lines currently resident in `core`'s L1.
+    #[must_use]
     pub fn l1_len(&self, core: CoreId) -> usize {
         self.l1s[core].len()
     }

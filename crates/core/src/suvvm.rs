@@ -70,6 +70,13 @@ impl SuvVm {
         self.pool.pages()
     }
 
+    /// Fault injection for checker self-tests: make the redirect table
+    /// forget that `core`'s transaction touched `line` while its transient
+    /// survives — the seeded INV-6 bug the audit must catch.
+    pub fn inject_forget_tx_entry(&mut self, core: CoreId, line: LineAddr) {
+        self.table.inject_forget_tx_entry(core, line);
+    }
+
     /// Resolve the current version's location for a read (or a
     /// non-transactional write): own transient first, then the committed
     /// redirection, else the original address.
@@ -286,6 +293,10 @@ impl VersionManager for SuvVm {
         let mut s = self.table.stats();
         s.summary_filtered = self.summary.filtered();
         s
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_invariants(&self.summary, &self.pool)
     }
 }
 

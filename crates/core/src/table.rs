@@ -346,6 +346,99 @@ impl RedirectTable {
     pub fn absorb_summary_stats(&mut self, summary: &SummarySignature) {
         self.stats.summary_filtered = summary.filtered();
     }
+
+    /// Audit the table against its invariants (INV-5..INV-8 and INV-10 in
+    /// DESIGN.md). `Err` describes the first violation found. Iteration
+    /// order never reaches timing — this is a pure oracle.
+    pub fn check_invariants(
+        &self,
+        summary: &SummarySignature,
+        pool: &PoolAllocator,
+    ) -> Result<(), String> {
+        let mut live_slots: HashSet<LineAddr> = HashSet::new();
+        let mut claim_slot = |line: LineAddr, slot: LineAddr, what: &str| -> Result<(), String> {
+            // INV-5: no two live mappings share a pool slot.
+            if !live_slots.insert(slot) {
+                return Err(format!("INV-5 line {line:#x}: {what} slot {slot:#x} aliased"));
+            }
+            // INV-8: a live slot must be one the pool actually handed out
+            // and has not simultaneously put back on its free list.
+            if !pool.region().contains(slot) {
+                return Err(format!("INV-8 line {line:#x}: {what} slot {slot:#x} outside pool"));
+            }
+            if pool.is_unallocated(slot) {
+                return Err(format!(
+                    "INV-8 line {line:#x}: {what} slot {slot:#x} live but available in the pool"
+                ));
+            }
+            Ok(())
+        };
+        for (&line, e) in &self.map {
+            // INV-7: flash commit/abort leaves zero dangling (empty) entries.
+            if e.is_empty() {
+                return Err(format!("INV-7 line {line:#x}: dangling empty entry"));
+            }
+            if let Some(slot) = e.committed {
+                claim_slot(line, slot, "committed")?;
+                // INV-10: the summary signature is a superset of the
+                // committed redirect set (a false negative would silently
+                // read stale data).
+                if !summary.contains(line) {
+                    return Err(format!("INV-10 line {line:#x}: committed but not in summary"));
+                }
+            }
+            let mut deletes = 0;
+            for &(c, t) in &e.transients {
+                // INV-6: every transient belongs to exactly one live
+                // transaction and is tracked in its tx-entry set.
+                if e.transients.iter().filter(|(c2, _)| *c2 == c).count() > 1 {
+                    return Err(format!("INV-6 line {line:#x}: core {c} has two transients"));
+                }
+                if !self.tx_entries[c].contains(&line) {
+                    return Err(format!(
+                        "INV-6 line {line:#x}: core {c} transient not in its tx-entry set"
+                    ));
+                }
+                match t {
+                    Transient::New { slot } => claim_slot(line, slot, "transient")?,
+                    Transient::DeleteGlobal => {
+                        deletes += 1;
+                        if e.committed.is_none() {
+                            return Err(format!(
+                                "INV-7 line {line:#x}: GLOBAL_DELETING without a committed entry"
+                            ));
+                        }
+                    }
+                }
+            }
+            if deletes > 1 {
+                return Err(format!("INV-7 line {line:#x}: {deletes} concurrent deletions"));
+            }
+        }
+        // INV-6, reverse direction: every tracked tx entry has a transient.
+        for (c, set) in self.tx_entries.iter().enumerate() {
+            for &line in set {
+                let ok = self
+                    .map
+                    .get(&line)
+                    .is_some_and(|e| e.transients.iter().any(|(c2, _)| *c2 == c));
+                if !ok {
+                    return Err(format!(
+                        "INV-6 line {line:#x}: core {c} tx entry without a transient"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection for checker self-tests: drop `core`'s bookkeeping
+    /// for `line` from its tx-entry set while the transient stays live —
+    /// the commit flash would then leave a dangling transient (the seeded
+    /// INV-6 bug the oracle must catch).
+    pub fn inject_forget_tx_entry(&mut self, core: CoreId, line: LineAddr) {
+        self.tx_entries[core].remove(&line);
+    }
 }
 
 #[cfg(test)]

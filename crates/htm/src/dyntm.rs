@@ -23,6 +23,7 @@ pub struct Selector {
 
 impl Selector {
     /// `sites` predictor entries with the given lazy threshold.
+    #[must_use]
     pub fn new(cfg: &DynTmConfig) -> Self {
         Selector { counters: vec![0; cfg.predictor_sites], threshold: cfg.lazy_threshold }
     }
@@ -32,6 +33,7 @@ impl Selector {
     }
 
     /// Should a transaction at `site` run lazy?
+    #[must_use]
     pub fn predict_lazy(&self, site: TxSite) -> bool {
         self.counters[self.idx(site)] >= self.threshold
     }
@@ -64,6 +66,7 @@ pub struct DynTm {
 
 impl DynTm {
     /// Original DynTM: FasTM eager half + write-buffer lazy half.
+    #[must_use]
     pub fn original(eager: Box<dyn VersionManager>, n_cores: usize, cfg: &DynTmConfig) -> Self {
         DynTm {
             eager,
@@ -76,6 +79,7 @@ impl DynTm {
     }
 
     /// DynTM with SUV version management in both modes ("D+S").
+    #[must_use]
     pub fn with_suv(suv: Box<dyn VersionManager>, n_cores: usize, cfg: &DynTmConfig) -> Self {
         DynTm {
             eager: suv,
@@ -186,6 +190,10 @@ impl VersionManager for DynTm {
 
     fn lazy_tx_count(&self) -> u64 {
         self.lazy_count
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.eager.check_invariants()
     }
 }
 

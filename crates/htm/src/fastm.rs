@@ -49,11 +49,13 @@ pub struct FasTm {
 
 impl FasTm {
     /// Per-core state for `n_cores`.
+    #[must_use]
     pub fn new(n_cores: usize, cfg: HtmConfig) -> Self {
         FasTm { cores: (0..n_cores).map(|_| CoreState::default()).collect(), cfg }
     }
 
     /// Has the core's current transaction degenerated? (tests)
+    #[must_use]
     pub fn is_degenerate(&self, core: CoreId) -> bool {
         self.cores[core].degenerate
     }

@@ -27,11 +27,13 @@ pub struct LazyVm {
 
 impl LazyVm {
     /// One buffer per core.
+    #[must_use]
     pub fn new(n_cores: usize) -> Self {
         LazyVm { bufs: (0..n_cores).map(|_| Buffer::default()).collect() }
     }
 
     /// Buffered distinct lines for a core (tests).
+    #[must_use]
     pub fn buffered_lines(&self, core: CoreId) -> usize {
         self.bufs[core].lines.len()
     }

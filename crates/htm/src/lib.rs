@@ -22,16 +22,20 @@
 //! other cores. Version-management schemes differ in how long those windows
 //! are; SUV makes both O(1).
 
+#![forbid(unsafe_code)]
+
 pub mod dyntm;
 pub mod fastm;
 pub mod lazy;
 pub mod logtm;
 pub mod machine;
+pub mod shadow;
 pub mod tx;
 pub mod undo;
 pub mod vm;
 
 pub use machine::{Access, CommitOutcome, HtmMachine};
+pub use shadow::ShadowOracle;
 pub use tx::{TxState, TxStatus};
 pub use undo::UndoLog;
 pub use vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};

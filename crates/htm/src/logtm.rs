@@ -24,6 +24,7 @@ impl LogTmSe {
     }
 
     /// Undo-log length of a core's running transaction (tests).
+    #[must_use]
     pub fn log_len(&self, core: CoreId) -> usize {
         self.logs[core].len()
     }

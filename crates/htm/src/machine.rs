@@ -22,6 +22,7 @@
 //! * **Strong isolation** — non-transactional accesses run the same
 //!   resolution and conflict checks.
 
+use crate::shadow::ShadowOracle;
 use crate::tx::{TxState, TxStatus};
 use crate::vm::{LoadTarget, StoreTarget, VersionManager, VmEnv};
 use rand::rngs::StdRng;
@@ -30,7 +31,8 @@ use suv_coherence::{AccessKind, MemorySystem};
 use suv_mem::Memory;
 use suv_trace::{TraceEvent, Tracer};
 use suv_types::{
-    line_of, word_of, Addr, CoreId, Cycle, LineAddr, MachineConfig, OverflowStats, TxSite, TxStats,
+    line_of, word_of, Addr, CheckLevel, CoreId, Cycle, LineAddr, MachineConfig, OverflowStats,
+    TxSite, TxStats,
 };
 
 /// Outcome of a memory access through the machine.
@@ -80,10 +82,13 @@ pub struct HtmMachine {
     /// Event/metrics sink; disabled by default (one predictable branch per
     /// emission point).
     tracer: Tracer,
+    /// Shadow-memory isolation oracle (`CheckLevel::Full` only).
+    shadow: Option<ShadowOracle>,
 }
 
 impl HtmMachine {
     /// Build a machine running the given version-management scheme.
+    #[must_use]
     pub fn new(cfg: &MachineConfig, vm: Box<dyn VersionManager>) -> Self {
         HtmMachine {
             cfg: *cfg,
@@ -102,12 +107,14 @@ impl HtmMachine {
             tx_stats: vec![TxStats::default(); cfg.n_cores],
             overflow: OverflowStats::default(),
             commit_token_free: 0,
-            rngs: (0..cfg.n_cores).map(|c| StdRng::seed_from_u64(0xBAC0FF + c as u64)).collect(),
+            rngs: (0..cfg.n_cores).map(|c| StdRng::seed_from_u64(0x00BA_C0FF + c as u64)).collect(),
             tracer: Tracer::disabled(),
+            shadow: (cfg.check >= CheckLevel::Full).then(|| ShadowOracle::new(cfg.n_cores)),
         }
     }
 
     /// The machine's configuration.
+    #[must_use]
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
     }
@@ -118,6 +125,7 @@ impl HtmMachine {
     }
 
     /// Borrow the tracer (e.g. to check [`Tracer::on`] or read metrics).
+    #[must_use]
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
@@ -134,11 +142,13 @@ impl HtmMachine {
     }
 
     /// Is `core` currently inside a transaction?
+    #[must_use]
     pub fn in_tx(&self, core: CoreId) -> bool {
         self.txs[core].depth > 0 && matches!(self.txs[core].status, TxStatus::Active)
     }
 
     /// Current nesting depth of `core`'s transaction.
+    #[must_use]
     pub fn depth(&self, core: CoreId) -> usize {
         self.txs[core].depth
     }
@@ -263,6 +273,9 @@ impl HtmMachine {
                 // LogTM-Nested stacked frame: per-level signatures plus a
                 // version-manager watermark, enabling partial abort.
                 self.txs[core].push_frame();
+                if let Some(s) = &mut self.shadow {
+                    s.push_level(core);
+                }
                 let mut env =
                     VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
                 return 2 + self.vm.begin_level(&mut env, core);
@@ -284,6 +297,9 @@ impl HtmMachine {
             t.timestamp = (now << 8) | core as u64;
         }
         self.tracer.emit(now, core, TraceEvent::TxBegin { site: site.0, lazy });
+        if let Some(s) = &mut self.shadow {
+            s.begin(core);
+        }
         let mut env =
             VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         self.cfg.htm.checkpoint_cycles + self.vm.begin(&mut env, core, lazy)
@@ -340,6 +356,11 @@ impl HtmMachine {
         self.txs[core].note_read(line);
         self.tx_stats[core].tx_loads += 1;
         self.tracer.emit(now, core, TraceEvent::TxRead { line });
+        if let Some(s) = &self.shadow {
+            if let Err(v) = s.check_tx_load(core, addr, value) {
+                panic!("isolation violated at t={now}: {v}");
+            }
+        }
         Access::Done { value, latency }
     }
 
@@ -412,6 +433,9 @@ impl HtmMachine {
         self.txs[core].note_write(line);
         self.tx_stats[core].tx_stores += 1;
         self.tracer.emit(now, core, TraceEvent::TxWrite { line });
+        if let Some(s) = &mut self.shadow {
+            s.record_store(core, addr, value);
+        }
         Access::Done { value: 0, latency }
     }
 
@@ -423,6 +447,9 @@ impl HtmMachine {
             self.txs[core].depth -= 1;
             if !self.txs[core].frames.is_empty() {
                 self.txs[core].merge_top_frame();
+                if let Some(s) = &mut self.shadow {
+                    s.merge_level(core);
+                }
                 let mut env =
                     VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
                 let lat = 1 + self.vm.commit_level(&mut env, core);
@@ -505,6 +532,9 @@ impl HtmMachine {
         }
         t.depth -= 1;
         t.drop_top_frame();
+        if let Some(s) = &mut self.shadow {
+            s.drop_level(core);
+        }
         let mut env =
             VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         Some(self.vm.abort_level(&mut env, core) + 1)
@@ -551,6 +581,20 @@ impl HtmMachine {
         self.sys.clear_speculative(core);
         let site = self.txs[core].site;
         self.vm.tx_finished(core, site, committed);
+        if let Some(s) = &mut self.shadow {
+            s.finish(core, committed);
+        }
+        // Transaction-boundary invariant audits (never charged cycles).
+        if self.cfg.check >= CheckLevel::Cheap {
+            if let Err(v) = self.vm.check_invariants() {
+                panic!("version-manager invariant violated at tx end (t={now}): {v}");
+            }
+            if self.cfg.check >= CheckLevel::Full {
+                if let Err(v) = self.sys.check_invariants() {
+                    panic!("coherence invariant violated at tx end (t={now}): {v}");
+                }
+            }
+        }
     }
 
     /// Randomized exponential backoff after an abort, in cycles.
@@ -573,9 +617,16 @@ impl HtmMachine {
         let (target, res_lat) = self.vm.resolve_load(&mut env, core, addr, false);
         let phys = match target {
             LoadTarget::Mem(p) => p,
-            LoadTarget::Value(v) => return Access::Done { value: v, latency: res_lat + 1 },
+            LoadTarget::Value(v) => {
+                if let Some(s) = &self.shadow {
+                    if let Err(e) = s.check_nontx_load(core, addr, v) {
+                        panic!("strong isolation violated at t={now}: {e}");
+                    }
+                }
+                return Access::Done { value: v, latency: res_lat + 1 };
+            }
         };
-        if !self.sys.has_permission(core, addr, AccessKind::Load) {
+        let (value, latency) = if !self.sys.has_permission(core, addr, AccessKind::Load) {
             if let Some(nacker) = self.find_conflict(now, core, line, false) {
                 let must_abort = self.note_nack(core, nacker, false);
                 let latency = res_lat + self.sys.nack_latency(now + res_lat, core, line, nacker);
@@ -587,11 +638,17 @@ impl HtmMachine {
             if let Some(ev) = f.evicted {
                 self.vm.on_eviction(core, &ev);
             }
-            Access::Done { value: self.mem.read_word(word_of(phys)), latency: res_lat + f.latency }
+            (self.mem.read_word(word_of(phys)), res_lat + f.latency)
         } else {
             let hit = self.sys.access_hit(core, addr, AccessKind::Load);
-            Access::Done { value: self.mem.read_word(word_of(phys)), latency: res_lat + hit }
+            (self.mem.read_word(word_of(phys)), res_lat + hit)
+        };
+        if let Some(s) = &self.shadow {
+            if let Err(v) = s.check_nontx_load(core, addr, value) {
+                panic!("strong isolation violated at t={now}: {v}");
+            }
         }
+        Access::Done { value, latency }
     }
 
     /// Non-transactional store.
@@ -619,11 +676,19 @@ impl HtmMachine {
                 self.vm.on_eviction(core, &ev);
             }
             self.mem.write_word(word_of(phys), value);
+            self.shadow_nontx_store(addr, value);
             Access::Done { value: 0, latency: vm_lat + f.latency }
         } else {
             let hit = self.sys.access_hit(core, addr, AccessKind::Store);
             self.mem.write_word(word_of(phys), value);
+            self.shadow_nontx_store(addr, value);
             Access::Done { value: 0, latency: vm_lat + hit }
+        }
+    }
+
+    fn shadow_nontx_store(&mut self, addr: Addr, value: u64) {
+        if let Some(s) = &mut self.shadow {
+            s.note_nontx_store(addr, value);
         }
     }
 
@@ -631,6 +696,7 @@ impl HtmMachine {
     /// no timing, no isolation).
     pub fn poke(&mut self, addr: Addr, value: u64) {
         self.mem.write_word(word_of(addr), value);
+        self.shadow_nontx_store(addr, value);
     }
 
     /// Fast functional read for result verification (no timing). Resolves
@@ -642,13 +708,24 @@ impl HtmMachine {
             tracer: &mut self.tracer,
             now: u64::MAX / 2,
         };
-        match self.vm.resolve_load(&mut env, 0, addr, false) {
+        let value = match self.vm.resolve_load(&mut env, 0, addr, false) {
             (LoadTarget::Mem(p), _) => self.mem.read_word(word_of(p)),
             (LoadTarget::Value(v), _) => v,
+        };
+        // With no speculative state pending, a peek must see exactly the
+        // committed shadow state — the end-of-run value oracle.
+        if let Some(s) = &self.shadow {
+            if s.quiescent() {
+                if let Err(v) = s.check_nontx_load(0, addr, value) {
+                    panic!("committed state diverged from shadow: {v}");
+                }
+            }
         }
+        value
     }
 
     /// Aggregated transaction statistics.
+    #[must_use]
     pub fn tx_stats(&self) -> TxStats {
         let mut s = TxStats::default();
         for t in &self.tx_stats {
@@ -658,11 +735,13 @@ impl HtmMachine {
     }
 
     /// Overflow statistics (Table V).
+    #[must_use]
     pub fn overflow_stats(&self) -> OverflowStats {
         self.overflow
     }
 
     /// Borrow the version manager (for scheme-specific statistics).
+    #[must_use]
     pub fn vm(&self) -> &dyn VersionManager {
         self.vm.as_ref()
     }

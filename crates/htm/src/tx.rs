@@ -85,11 +85,13 @@ pub struct TxState {
 
 impl TxState {
     /// Fresh descriptor with signatures of the given geometry.
+    #[must_use]
     pub fn new(sig_bits: usize, sig_hashes: usize) -> Self {
         Self::with_mode(sig_bits, sig_hashes, false)
     }
 
     /// Fresh descriptor; `perfect` selects exact-set signatures (ablation).
+    #[must_use]
     pub fn with_mode(sig_bits: usize, sig_hashes: usize, perfect: bool) -> Self {
         let make = if perfect { Signature::perfect } else { Signature::new };
         TxState {
@@ -186,22 +188,26 @@ impl TxState {
     }
 
     /// Does any level's read signature cover this line?
+    #[must_use]
     pub fn rsig_hit(&self, line: LineAddr) -> bool {
         self.rsig.contains(line) || self.frames.iter().any(|f| f.rsig.contains(line))
     }
 
     /// Does any level's write signature cover this line?
+    #[must_use]
     pub fn wsig_hit(&self, line: LineAddr) -> bool {
         self.wsig.contains(line) || self.frames.iter().any(|f| f.wsig.contains(line))
     }
 
     /// Exact: has any level of this transaction written this line?
+    #[must_use]
     pub fn writes_contain(&self, line: LineAddr) -> bool {
         self.write_set.contains(&line) || self.frames.iter().any(|f| f.write_set.contains(&line))
     }
 
     /// All distinct written lines across levels (lazy commit validation,
     /// statistics).
+    #[must_use]
     pub fn all_write_lines(&self) -> Vec<LineAddr> {
         let mut v: Vec<LineAddr> = self.write_set.iter().copied().collect();
         for f in &self.frames {
@@ -214,6 +220,7 @@ impl TxState {
 
     /// Is the transaction currently defending its sets at time `now`?
     /// (Active always; Aborting/Committing until the window closes.)
+    #[must_use]
     pub fn isolation_live(&self, now: Cycle) -> bool {
         match self.status {
             TxStatus::Idle => false,

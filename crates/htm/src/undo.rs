@@ -37,6 +37,7 @@ const RECORD_BYTES: Addr = LINE_BYTES + 8;
 
 impl UndoLog {
     /// Log for thread `core` in its private region.
+    #[must_use]
     pub fn new(core: CoreId) -> Self {
         let base = Region::log(core).base;
         UndoLog { records: Vec::new(), base, write_ptr: 0, level_marks: Vec::new() }
@@ -45,6 +46,7 @@ impl UndoLog {
     /// Has the line already been logged *at the current nesting level*?
     /// (A line written by an outer level is re-logged by an inner one so
     /// a partial abort can restore the outer level's speculative value.)
+    #[must_use]
     pub fn has_logged(&self, line: LineAddr) -> bool {
         let start = self.level_marks.last().copied().unwrap_or(0);
         self.records[start..].iter().any(|r| r.line == line)
@@ -123,11 +125,13 @@ impl UndoLog {
     }
 
     /// Number of logged lines this transaction.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
     /// True when nothing is logged.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }

@@ -159,6 +159,15 @@ pub trait VersionManager: Send {
     fn lazy_tx_count(&self) -> u64 {
         0
     }
+
+    /// Audit the version manager's own data structures for internal
+    /// consistency (SUV's redirect-table invariants INV-5..INV-8 in
+    /// DESIGN.md). Called by the machine at every transaction boundary
+    /// when `CheckLevel >= Cheap`; never charged simulated cycles. The
+    /// default has nothing to check.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

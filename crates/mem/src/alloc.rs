@@ -124,6 +124,18 @@ impl PoolAllocator {
     pub fn free_slots(&self) -> usize {
         self.free.len()
     }
+
+    /// Checker support: would the pool consider `a` available? True when
+    /// `a` sits beyond the allocation frontier or on the free list — a
+    /// *live* redirect slot must never satisfy this (INV-8).
+    pub fn is_unallocated(&self, a: Addr) -> bool {
+        a >= self.next_slot || self.free.contains(&a)
+    }
+
+    /// The region this pool manages.
+    pub fn region(&self) -> Region {
+        self.region
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //! is banked by address across all nodes; memory controllers sit at the mesh
 //! corners (4 in the paper).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use suv_types::{Cycle, MachineConfig};
 

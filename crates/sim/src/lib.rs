@@ -13,6 +13,8 @@
 //! breakdown: every consumed cycle is attributed to NoTrans, Trans,
 //! Barrier, Backoff, Stalled, Wasted, Aborting or Committing.
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod runner;
 pub mod sched;

@@ -34,6 +34,8 @@
 //! println!("speedup: {:.2}x", suv.speedup_over(&logtm));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cacti_lite as cacti;
 pub use suv_cache as cache;
 pub use suv_coherence as coherence;
@@ -56,6 +58,6 @@ pub mod prelude {
     pub use crate::stamp::{by_name, high_contention_suite, stamp_suite, SuiteScale};
     pub use crate::trace::{chrome_trace_json, summary_report, TraceEvent, TraceOutput, Tracer};
     pub use crate::types::{
-        Breakdown, BreakdownKind, MachineConfig, MachineStats, SchemeKind, TxSite,
+        Breakdown, BreakdownKind, CheckLevel, MachineConfig, MachineStats, SchemeKind, TxSite,
     };
 }

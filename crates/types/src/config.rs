@@ -238,6 +238,47 @@ impl SchemeKind {
     pub const FIG9: [SchemeKind; 2] = [SchemeKind::DynTm, SchemeKind::DynTmSuv];
 }
 
+/// How much runtime invariant checking the machine performs.
+///
+/// Levels are ordered: `Cheap` includes everything `Off` does (nothing),
+/// `Full` includes everything `Cheap` does. Checks are correctness oracles
+/// only — they never consume simulated cycles, so timing results are
+/// identical at every level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum CheckLevel {
+    /// No checking; the production/benchmark configuration.
+    #[default]
+    Off,
+    /// O(1)-per-event assertions: coherence invariants on the line a
+    /// `fill` touched, redirect-table spot checks at commit/abort.
+    Cheap,
+    /// Everything in `Cheap`, plus whole-structure scans (full directory
+    /// sweep after each fill, full redirect-table audit at tx end) and
+    /// the shadow-memory isolation oracle on every load/store.
+    Full,
+}
+
+impl CheckLevel {
+    /// Parse a `--check=<level>` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(CheckLevel::Off),
+            "cheap" => Some(CheckLevel::Cheap),
+            "full" => Some(CheckLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`off`/`cheap`/`full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckLevel::Off => "off",
+            CheckLevel::Cheap => "cheap",
+            CheckLevel::Full => "full",
+        }
+    }
+}
+
 /// Full machine configuration (Table III plus HTM/SUV/DynTM knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -266,6 +307,8 @@ pub struct MachineConfig {
     pub suv: SuvConfig,
     /// DynTM selector parameters.
     pub dyntm: DynTmConfig,
+    /// Runtime invariant-checking level (see [`CheckLevel`]).
+    pub check: CheckLevel,
 }
 
 impl Default for MachineConfig {
@@ -283,6 +326,7 @@ impl Default for MachineConfig {
             htm: HtmConfig::default(),
             suv: SuvConfig::default(),
             dyntm: DynTmConfig::default(),
+            check: CheckLevel::Off,
         }
     }
 }
@@ -358,6 +402,17 @@ mod tests {
         assert_eq!(c2.mesh_side(), 3);
         c2.n_cores = 1;
         assert_eq!(c2.mesh_side(), 1);
+    }
+
+    #[test]
+    fn check_levels_are_ordered() {
+        assert!(CheckLevel::Off < CheckLevel::Cheap);
+        assert!(CheckLevel::Cheap < CheckLevel::Full);
+        assert_eq!(MachineConfig::default().check, CheckLevel::Off);
+        for lvl in [CheckLevel::Off, CheckLevel::Cheap, CheckLevel::Full] {
+            assert_eq!(CheckLevel::parse(lvl.name()), Some(lvl));
+        }
+        assert_eq!(CheckLevel::parse("bogus"), None);
     }
 
     #[test]

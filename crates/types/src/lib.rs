@@ -5,6 +5,8 @@
 //! every other crate in the workspace. It is dependency-free so that leaf
 //! crates (caches, signatures, the interconnect) can be tested in isolation.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod config;
 pub mod stats;
@@ -14,8 +16,8 @@ pub use addr::{
     PageAddr, LINE_BYTES, LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT, WORDS_PER_LINE, WORD_BYTES,
 };
 pub use config::{
-    BackoffConfig, CacheGeom, ConflictPolicy, DynTmConfig, HtmConfig, MachineConfig, SchemeKind,
-    SuvConfig,
+    BackoffConfig, CacheGeom, CheckLevel, ConflictPolicy, DynTmConfig, HtmConfig, MachineConfig,
+    SchemeKind, SuvConfig,
 };
 pub use stats::{Breakdown, BreakdownKind, MachineStats, OverflowStats, RedirectStats, TxStats};
 

@@ -1,0 +1,368 @@
+//! The custom lint rules, as pure functions over file contents so every
+//! rule is unit-testable on seeded fixture strings.
+//!
+//! Rules (see DESIGN.md §7.4):
+//!
+//! * **entropy** — simulation crates must be bit-deterministic: no
+//!   `SystemTime`, `Instant::now`, `thread_rng`, `from_entropy` or
+//!   `rand::random` anywhere under `crates/` except `crates/bench` (the
+//!   harness may time wall-clock; seeded `StdRng` use is fine anywhere).
+//! * **unwrap** — no `.unwrap()` in non-test library code; `.expect("...")`
+//!   with a message stating the invariant is the accepted alternative.
+//! * **forbid-unsafe** — every workspace crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * **vm-impl** — every `impl VersionManager for` block's file defines
+//!   the full `commit`/`abort` pair, and a file that overrides
+//!   `begin_level` also overrides `commit_level` *and* `abort_level`
+//!   (a partial nesting implementation corrupts rollback silently).
+//! * **trace-reconcile** — every `TraceEvent` variant is wired through
+//!   `kind_id`, `kind_name` and `payload` (no catch-all arm may absorb a
+//!   newly added variant, or hashes and metrics silently lose events).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// What is wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Does this trimmed line carry any executable code? (Comment and doc
+/// lines are exempt from the content rules.)
+fn is_comment(trimmed: &str) -> bool {
+    trimmed.starts_with("//") || trimmed.starts_with("//!") || trimmed.starts_with("///")
+}
+
+/// Entropy sources that would break the simulator's bit-reproducibility.
+const ENTROPY_TOKENS: [&str; 5] =
+    ["SystemTime", "Instant::now", "thread_rng", "from_entropy", "rand::random"];
+
+/// Flag wall-clock and OS-entropy use in a simulation source file.
+pub fn lint_entropy(file: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let t = line.trim_start();
+        if is_comment(t) {
+            continue;
+        }
+        for tok in ENTROPY_TOKENS {
+            if t.contains(tok) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "entropy",
+                    msg: format!(
+                        "`{tok}` in a simulation crate breaks determinism; \
+                         use a seeded StdRng or take time from the simulated clock"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Flag `.unwrap()` in the non-test portion of a library source file.
+/// Everything from the first `#[cfg(test)]` to end of file is considered
+/// test code (the workspace convention keeps test modules last).
+pub fn lint_unwrap(file: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let t = line.trim_start();
+        if t.contains("#[cfg(test)]") {
+            break;
+        }
+        if is_comment(t) {
+            continue;
+        }
+        if t.contains(".unwrap()") {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "unwrap",
+                msg: "`.unwrap()` in library code; use `.expect(\"<invariant>\")` \
+                      or propagate the error"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Require `#![forbid(unsafe_code)]` in a crate root.
+pub fn lint_forbid_unsafe(file: &str, src: &str) -> Vec<Violation> {
+    if src.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Violation {
+            file: file.to_string(),
+            line: 0,
+            rule: "forbid-unsafe",
+            msg: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+/// Check `VersionManager` implementation completeness in a file that
+/// contains at least one `impl VersionManager for`.
+pub fn lint_vm_impl(file: &str, src: &str) -> Vec<Violation> {
+    if !src.contains("impl VersionManager for") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for required in ["fn commit(", "fn abort("] {
+        if !src.contains(required) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: 0,
+                rule: "vm-impl",
+                msg: format!(
+                    "`impl VersionManager` without `{required}..)`: commit and abort \
+                     must be implemented as a pair"
+                ),
+            });
+        }
+    }
+    if src.contains("fn begin_level(") {
+        for required in ["fn commit_level(", "fn abort_level("] {
+            if !src.contains(required) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: 0,
+                    rule: "vm-impl",
+                    msg: format!(
+                        "`begin_level` overridden without `{required}..)`: partial-abort \
+                         support needs the full level trio"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Check that every `TraceEvent` variant is reconciled through the
+/// `kind_id`/`kind_name`/`payload` accessors (each variant name must be
+/// referenced as `TraceEvent::<Variant>` at least three times outside its
+/// declaration) and that none of those matches hides behind a catch-all.
+pub fn lint_trace_reconciliation(file: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Extract variant names from the enum declaration.
+    let mut variants: Vec<&str> = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0i32;
+    for line in src.lines() {
+        if line.contains("pub enum TraceEvent") {
+            in_enum = true;
+        }
+        if in_enum {
+            let t = line.trim();
+            if depth == 1 && !is_comment(t) {
+                let name: String = t.chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+                if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    variants.push(&t[..name.len()]);
+                }
+            }
+            depth += line.matches('{').count() as i32;
+            depth -= line.matches('}').count() as i32;
+            if depth == 0 && line.contains('}') {
+                in_enum = false;
+            }
+        }
+    }
+    if variants.is_empty() {
+        out.push(Violation {
+            file: file.to_string(),
+            line: 0,
+            rule: "trace-reconcile",
+            msg: "could not locate the `TraceEvent` enum declaration".to_string(),
+        });
+        return out;
+    }
+    for v in variants {
+        let needle = format!("TraceEvent::{v}");
+        let refs = src.matches(needle.as_str()).count();
+        if refs < 3 {
+            out.push(Violation {
+                file: file.to_string(),
+                line: 0,
+                rule: "trace-reconcile",
+                msg: format!(
+                    "variant `{v}` referenced {refs}x; kind_id, kind_name and payload \
+                     must each handle it explicitly"
+                ),
+            });
+        }
+    }
+    for accessor in ["fn kind_id", "fn kind_name", "fn payload"] {
+        if let Some(start) = src.find(accessor) {
+            let body_end = src[start..].find("\n    }").map_or(src.len(), |e| start + e);
+            if src[start..body_end].contains("_ =>") {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: 0,
+                    rule: "trace-reconcile",
+                    msg: format!(
+                        "`{accessor}` uses a catch-all arm; new variants would be \
+                         silently folded together"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target/`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                rust_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    let rel =
+        |p: &Path| -> String { p.strip_prefix(root).unwrap_or(p).to_string_lossy().into_owned() };
+
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let is_bench = crate_dir.file_name().is_some_and(|n| n == "bench");
+        let mut files = Vec::new();
+        rust_files(crate_dir, &mut files)?;
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            let name = rel(f);
+            if !is_bench {
+                violations.extend(lint_entropy(&name, &src));
+                if name.contains("/src/") {
+                    violations.extend(lint_unwrap(&name, &src));
+                }
+            }
+            violations.extend(lint_vm_impl(&name, &src));
+        }
+        let lib = crate_dir.join("src/lib.rs");
+        if lib.exists() {
+            violations.extend(lint_forbid_unsafe(&rel(&lib), &fs::read_to_string(&lib)?));
+        }
+    }
+
+    let xtask_main = root.join("xtask/src/main.rs");
+    if xtask_main.exists() {
+        violations.extend(lint_forbid_unsafe(&rel(&xtask_main), &fs::read_to_string(&xtask_main)?));
+    }
+
+    let event_rs = root.join("crates/trace/src/event.rs");
+    violations.extend(lint_trace_reconciliation(&rel(&event_rs), &fs::read_to_string(&event_rs)?));
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_flags_wall_clock_but_not_comments() {
+        let src = "// Instant::now is banned here\nlet t = Instant::now();\n";
+        let v = lint_entropy("x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "entropy");
+        assert!(lint_entropy("x.rs", "let rng = StdRng::seed_from_u64(7);\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_allowed_only_in_test_modules() {
+        let lib = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_unwrap("x.rs", lib).len(), 1);
+        let tested =
+            "fn f() { x.expect(\"ok\"); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        assert!(lint_unwrap("x.rs", tested).is_empty());
+        assert!(lint_unwrap("x.rs", "/// x.unwrap() in docs is fine\n").is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_required() {
+        assert_eq!(lint_forbid_unsafe("lib.rs", "//! docs\n").len(), 1);
+        assert!(lint_forbid_unsafe("lib.rs", "//! docs\n\n#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn vm_impl_pairs_enforced() {
+        let complete = "impl VersionManager for X {\n fn commit(..) {}\n fn abort(..) {}\n}";
+        assert!(lint_vm_impl("x.rs", complete).is_empty());
+        let missing_abort = "impl VersionManager for X {\n fn commit(..) {}\n}";
+        assert_eq!(lint_vm_impl("x.rs", missing_abort).len(), 1);
+        let partial_nesting = "impl VersionManager for X {\n fn commit(..) {}\n fn abort(..) {}\n fn begin_level(..) {}\n fn commit_level(..) {}\n}";
+        let v = lint_vm_impl("x.rs", partial_nesting);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("abort_level"));
+        assert!(lint_vm_impl("x.rs", "no impls here").is_empty());
+    }
+
+    #[test]
+    fn trace_reconciliation_counts_references() {
+        let good = "pub enum TraceEvent {\n    Foo { x: u64 },\n}\n\
+            fn kind_id() { TraceEvent::Foo => 1, }\n\
+            fn kind_name() { TraceEvent::Foo => \"foo\", }\n\
+            fn payload() { TraceEvent::Foo { x } => (x, 0), }\n";
+        assert!(
+            lint_trace_reconciliation("e.rs", good).is_empty(),
+            "{:?}",
+            lint_trace_reconciliation("e.rs", good)
+        );
+        let missing = "pub enum TraceEvent {\n    Foo { x: u64 },\n    Bar,\n}\n\
+            fn kind_id() { TraceEvent::Foo => 1, TraceEvent::Bar => 2, }\n\
+            fn kind_name() { TraceEvent::Foo => \"foo\", TraceEvent::Bar => \"bar\", }\n\
+            fn payload() { TraceEvent::Foo { x } => (x, 0), _ => (0, 0), }\n";
+        let v = lint_trace_reconciliation("e.rs", missing);
+        assert!(v.iter().any(|v| v.msg.contains("`Bar`")), "{v:?}");
+        assert!(v.iter().any(|v| v.msg.contains("catch-all")), "{v:?}");
+    }
+
+    #[test]
+    fn repo_is_clean() {
+        // The real workspace must pass its own lint (the CI gate).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root");
+        let v = lint_workspace(root).expect("lint walk");
+        assert!(
+            v.is_empty(),
+            "lint violations:\n{}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
