@@ -4,8 +4,18 @@
 //! suvtm run   --app genome --scheme suv [--cores 16] [--scale paper] [--breakdown]
 //!             [--trace out.json] [--trace-summary] [--check off|cheap|full]
 //! suvtm sweep --app yada               # all schemes on one app
+//! suvtm sweep --all [--jobs N]         # full matrix, parallel
+//! suvtm bench [--apps A,B] [--schemes S,..] [--cores N,M] [--jobs N]
+//!             [--serial] [--out PATH]  # parallel matrix -> BENCH_sweep.json
 //! suvtm list                           # workloads and schemes
 //! ```
+//!
+//! `bench` (and `sweep --all`) runs the workload × scheme × core-count
+//! matrix as independent deterministic simulations fanned out across host
+//! threads, and writes a machine-readable `BENCH_sweep.json` (schema
+//! documented in README.md) with per-cell simulated cycles, trace hashes
+//! and host wall-times. `--serial` / `--jobs 1` runs the same matrix on
+//! one host thread and produces bit-identical simulation results.
 //!
 //! `--trace out.json` records the run's event stream and writes it in
 //! Chrome Trace Event format — open it in `chrome://tracing` or Perfetto.
@@ -18,72 +28,16 @@
 //! MESI-reachability oracles from `suv-check` after it (tracing is forced
 //! on so the serializability oracle has an event stream to replay). The
 //! checkers observe only — simulated cycle counts are unchanged.
+//!
+//! Malformed invocations print the usage message and exit with status 2;
+//! correctness-oracle violations exit with status 1.
 
+use std::time::Instant;
 use suv::prelude::*;
+use suv::sim::default_workers;
 use suv::stamp::WORKLOAD_NAMES;
-
-fn parse_scheme(s: &str) -> Option<SchemeKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "logtm" | "logtm-se" | "l" => SchemeKind::LogTmSe,
-        "fastm" | "f" => SchemeKind::FasTm,
-        "suv" | "suv-tm" | "s" => SchemeKind::SuvTm,
-        "lazy" | "tcc" => SchemeKind::Lazy,
-        "dyntm" | "d" => SchemeKind::DynTm,
-        "dyntm-suv" | "d+s" | "ds" => SchemeKind::DynTmSuv,
-        _ => return None,
-    })
-}
-
-struct Opts {
-    app: String,
-    scheme: SchemeKind,
-    cores: usize,
-    scale: SuiteScale,
-    breakdown: bool,
-    trace_path: Option<String>,
-    trace_summary: bool,
-    check: CheckLevel,
-}
-
-fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts {
-        app: "genome".into(),
-        scheme: SchemeKind::SuvTm,
-        cores: 16,
-        scale: SuiteScale::Tiny,
-        breakdown: false,
-        trace_path: None,
-        trace_summary: false,
-        check: CheckLevel::Off,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--app" => o.app = it.next().expect("--app NAME").clone(),
-            "--scheme" => {
-                let s = it.next().expect("--scheme NAME");
-                o.scheme = parse_scheme(s).unwrap_or_else(|| panic!("unknown scheme {s}"));
-            }
-            "--cores" => o.cores = it.next().expect("--cores N").parse().expect("number"),
-            "--scale" => {
-                o.scale = match it.next().expect("--scale tiny|paper").as_str() {
-                    "paper" => SuiteScale::Paper,
-                    _ => SuiteScale::Tiny,
-                }
-            }
-            "--breakdown" => o.breakdown = true,
-            "--check" => {
-                let s = it.next().expect("--check off|cheap|full");
-                o.check = CheckLevel::parse(s)
-                    .unwrap_or_else(|| panic!("unknown check level {s}; try off|cheap|full"));
-            }
-            "--trace" => o.trace_path = Some(it.next().expect("--trace PATH").clone()),
-            "--trace-summary" => o.trace_summary = true,
-            other => panic!("unknown option {other}"),
-        }
-    }
-    o
-}
+use suv_bench::cli::{self, BenchOpts, Command, RunOpts, USAGE};
+use suv_bench::engine::{run_matrix, scale_name, sweep_json, HostMeta};
 
 fn config(cores: usize, check: CheckLevel) -> MachineConfig {
     MachineConfig { n_cores: cores, check, ..Default::default() }
@@ -152,67 +106,120 @@ fn report(r: &RunResult, breakdown: bool) {
     }
 }
 
+fn cmd_run(o: &RunOpts) {
+    let mut w = by_name(&o.app, o.scale).expect("app validated by the parser");
+    // Full checking needs the event stream for the offline
+    // serializability oracle.
+    let tracing = o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
+    let tc = tracing.then(TraceConfig::default);
+    let r = run_workload_traced(&config(o.cores, o.check), o.scheme, w.as_mut(), tc);
+    report(&r, o.breakdown);
+    if o.check == CheckLevel::Full && !run_oracles(&r) {
+        eprintln!("suvtm: correctness oracle reported violations");
+        std::process::exit(1);
+    }
+    if let Some(out) = &r.trace {
+        println!(
+            "    trace: {} events, {} dropped, hash {:016x}",
+            out.events, out.dropped, r.trace_hash
+        );
+        if let Some(path) = &o.trace_path {
+            let json = chrome_trace_json(&out.records, o.cores, out.dropped);
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("    wrote {path} (open in chrome://tracing)");
+        }
+        if o.trace_summary {
+            print!("{}", summary_report(out, 10));
+        }
+    }
+}
+
+fn cmd_sweep_one(o: &RunOpts) {
+    let mut base = None;
+    for scheme in [
+        SchemeKind::LogTmSe,
+        SchemeKind::FasTm,
+        SchemeKind::Lazy,
+        SchemeKind::DynTm,
+        SchemeKind::SuvTm,
+        SchemeKind::DynTmSuv,
+    ] {
+        let mut w = by_name(&o.app, o.scale).expect("app validated by the parser");
+        let r = run_workload(&config(o.cores, o.check), scheme, w.as_mut());
+        let b = *base.get_or_insert(r.stats.cycles);
+        report(&r, o.breakdown);
+        println!("    speedup vs LogTM-SE: {:.2}x", b as f64 / r.stats.cycles as f64);
+    }
+}
+
+fn cmd_bench(o: &BenchOpts) {
+    let workers = if o.serial { 1 } else { o.jobs.unwrap_or_else(default_workers) };
+    eprintln!(
+        "suvtm bench: {} cells ({}), {} host worker{}",
+        o.cells.len(),
+        scale_name(o.scale),
+        workers,
+        if workers == 1 { "" } else { "s" },
+    );
+    let start = Instant::now();
+    let cells = run_matrix(&o.cells, o.scale, workers);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    for c in &cells {
+        println!(
+            "{:<14} {:<10} {:>2} cores {:>12} cycles  commits={:<6} aborts={:<6} \
+             hash={:016x}  {:>8.1} ms  {:>6.1} Mcyc/s",
+            c.spec.app,
+            c.spec.scheme.name(),
+            c.spec.cores,
+            c.result.stats.cycles,
+            c.result.stats.tx.commits,
+            c.result.stats.tx.aborts,
+            c.result.trace_hash,
+            c.host_ms,
+            c.cycles_per_sec() / 1e6,
+        );
+    }
+    let total_cycles: u64 = cells.iter().map(|c| c.result.stats.cycles).sum();
+    println!(
+        "total: {} cells, {} simulated cycles, {:.1} ms host wall ({:.1} Mcyc/s aggregate)",
+        cells.len(),
+        total_cycles,
+        wall_ms,
+        if wall_ms > 0.0 { total_cycles as f64 / wall_ms / 1e3 } else { 0.0 },
+    );
+    if let Some(path) = &o.out {
+        let doc = sweep_json(&cells, o.scale, Some(HostMeta { workers, wall_ms }));
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+            }
+        }
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_list() {
+    println!("workloads: {}", WORKLOAD_NAMES.join(" "));
+    println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
+    println!("scales:    tiny paper");
+    println!("checks:    off cheap full");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("run") => {
-            let o = parse_opts(&args[1..]);
-            let mut w = by_name(&o.app, o.scale)
-                .unwrap_or_else(|| panic!("unknown app {}; try `suvtm list`", o.app));
-            // Full checking needs the event stream for the offline
-            // serializability oracle.
-            let tracing = o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
-            let tc = tracing.then(TraceConfig::default);
-            let r = run_workload_traced(&config(o.cores, o.check), o.scheme, w.as_mut(), tc);
-            report(&r, o.breakdown);
-            if o.check == CheckLevel::Full && !run_oracles(&r) {
-                eprintln!("suvtm: correctness oracle reported violations");
-                std::process::exit(1);
-            }
-            if let Some(out) = &r.trace {
-                println!(
-                    "    trace: {} events, {} dropped, hash {:016x}",
-                    out.events, out.dropped, r.trace_hash
-                );
-                if let Some(path) = &o.trace_path {
-                    let json = chrome_trace_json(&out.records, o.cores, out.dropped);
-                    std::fs::write(path, json)
-                        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-                    println!("    wrote {path} (open in chrome://tracing)");
-                }
-                if o.trace_summary {
-                    print!("{}", summary_report(out, 10));
-                }
-            }
-        }
-        Some("sweep") => {
-            let o = parse_opts(&args[1..]);
-            let mut base = None;
-            for scheme in [
-                SchemeKind::LogTmSe,
-                SchemeKind::FasTm,
-                SchemeKind::Lazy,
-                SchemeKind::DynTm,
-                SchemeKind::SuvTm,
-                SchemeKind::DynTmSuv,
-            ] {
-                let mut w =
-                    by_name(&o.app, o.scale).unwrap_or_else(|| panic!("unknown app {}", o.app));
-                let r = run_workload(&config(o.cores, o.check), scheme, w.as_mut());
-                let b = *base.get_or_insert(r.stats.cycles);
-                report(&r, o.breakdown);
-                println!("    speedup vs LogTM-SE: {:.2}x", b as f64 / r.stats.cycles as f64);
-            }
-        }
-        Some("list") => {
-            println!("workloads: {}", WORKLOAD_NAMES.join(" "));
-            println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
-            println!("scales:    tiny paper");
-            println!("checks:    off cheap full");
-        }
-        _ => {
-            eprintln!("usage: suvtm run|sweep|list [--app NAME] [--scheme NAME] [--cores N] [--scale tiny|paper] [--breakdown] [--trace PATH] [--trace-summary] [--check off|cheap|full]");
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("suvtm: {e}\n{USAGE}");
             std::process::exit(2);
         }
+    };
+    match cmd {
+        Command::Run(o) => cmd_run(&o),
+        Command::Sweep(o) => cmd_sweep_one(&o),
+        Command::Bench(o) => cmd_bench(&o),
+        Command::List => cmd_list(),
     }
 }

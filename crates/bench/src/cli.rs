@@ -1,0 +1,370 @@
+//! Validated argument parsing for the `suvtm` binary.
+//!
+//! Every malformed invocation — unknown subcommand, unknown flag, missing
+//! value, unknown app/scheme, out-of-range core count — comes back as a
+//! [`CliError`] so `main` can print the usage message and exit with a
+//! non-zero status instead of panicking with a backtrace.
+
+use crate::engine::{default_axes, matrix, CellSpec};
+use suv::prelude::*;
+use suv::stamp::by_name;
+
+/// The usage banner printed on any parse error (exit code 2).
+pub const USAGE: &str = "\
+usage: suvtm <run|sweep|bench|list> [options]
+
+  run    --app NAME [--scheme NAME] [--cores N] [--scale tiny|paper]
+         [--breakdown] [--trace PATH] [--trace-summary] [--check off|cheap|full]
+  sweep  --app NAME | --all
+         [--cores N] [--scale tiny|paper] [--breakdown] [--check LEVEL]
+         [--jobs N] [--out PATH]            (--all: parallel full matrix)
+  bench  [--apps A,B,..] [--schemes S,..] [--cores N,M,..] [--scale tiny|paper]
+         [--jobs N] [--serial] [--out PATH] (default out: results/BENCH_sweep.json)
+  list   show workloads, schemes, scales and check levels
+
+run `suvtm list` for valid names";
+
+/// A human-readable parse/validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Options for `suvtm run` (and the single-app `suvtm sweep`).
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Workload name.
+    pub app: String,
+    /// Scheme to simulate (`run` only; `sweep` runs all of them).
+    pub scheme: SchemeKind,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Input scale.
+    pub scale: SuiteScale,
+    /// Print the execution-time breakdown.
+    pub breakdown: bool,
+    /// Write a Chrome-trace JSON file here.
+    pub trace_path: Option<String>,
+    /// Print the top-N trace summary.
+    pub trace_summary: bool,
+    /// Runtime invariant checking level.
+    pub check: CheckLevel,
+}
+
+/// Options for the parallel matrix commands (`bench`, `sweep --all`).
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// The cells to run, in deterministic matrix order.
+    pub cells: Vec<CellSpec>,
+    /// Input scale.
+    pub scale: SuiteScale,
+    /// Host worker threads (`None` = the host's available parallelism).
+    pub jobs: Option<usize>,
+    /// Force the serial path (equivalent to `--jobs 1`).
+    pub serial: bool,
+    /// Where to write `BENCH_sweep.json` (`None` = don't write).
+    pub out: Option<String>,
+}
+
+/// A fully parsed and validated `suvtm` invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `suvtm run`: one (app, scheme) cell, verbose report.
+    Run(RunOpts),
+    /// `suvtm sweep --app X`: all schemes on one app, serial, with
+    /// speedups vs LogTM-SE.
+    Sweep(RunOpts),
+    /// `suvtm bench` / `suvtm sweep --all`: the parallel matrix engine.
+    Bench(BenchOpts),
+    /// `suvtm list`: print valid names.
+    List,
+}
+
+/// Simulated core counts must fit the directory's u64 sharer bit-vector.
+pub const MAX_CORES: usize = 64;
+
+fn parse_scheme(s: &str) -> Result<SchemeKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "logtm" | "logtm-se" | "l" => Ok(SchemeKind::LogTmSe),
+        "fastm" | "f" => Ok(SchemeKind::FasTm),
+        "suv" | "suv-tm" | "s" => Ok(SchemeKind::SuvTm),
+        "lazy" | "tcc" => Ok(SchemeKind::Lazy),
+        "dyntm" | "d" => Ok(SchemeKind::DynTm),
+        "dyntm-suv" | "d+s" | "ds" => Ok(SchemeKind::DynTmSuv),
+        _ => err(format!("unknown scheme `{s}`; try logtm-se|fastm|lazy|dyntm|suv|dyntm-suv")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<SuiteScale, CliError> {
+    match s {
+        "tiny" => Ok(SuiteScale::Tiny),
+        "paper" => Ok(SuiteScale::Paper),
+        _ => err(format!("unknown scale `{s}`; try tiny|paper")),
+    }
+}
+
+fn parse_cores(s: &str) -> Result<usize, CliError> {
+    let n: usize = match s.parse() {
+        Ok(n) => n,
+        Err(_) => return err(format!("--cores: `{s}` is not a number")),
+    };
+    if n == 0 {
+        return err("--cores: need at least 1 simulated core");
+    }
+    if n > MAX_CORES {
+        return err(format!(
+            "--cores: {n} exceeds the {MAX_CORES}-core limit (directory sharer bit-vector)"
+        ));
+    }
+    Ok(n)
+}
+
+fn validate_app(name: &str) -> Result<String, CliError> {
+    if by_name(name, SuiteScale::Tiny).is_some() {
+        Ok(name.to_string())
+    } else {
+        err(format!("unknown app `{name}`; run `suvtm list` for valid names"))
+    }
+}
+
+fn parse_check(s: &str) -> Result<CheckLevel, CliError> {
+    CheckLevel::parse(s)
+        .ok_or_else(|| CliError(format!("unknown check level `{s}`; try off|cheap|full")))
+}
+
+/// Pull the value after a flag, or fail naming the flag.
+fn value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<&'a String, CliError> {
+    it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
+    let mut o = RunOpts {
+        app: "genome".into(),
+        scheme: SchemeKind::SuvTm,
+        cores: 16,
+        scale: SuiteScale::Tiny,
+        breakdown: false,
+        trace_path: None,
+        trace_summary: false,
+        check: CheckLevel::Off,
+    };
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => o.app = validate_app(value(&mut it, "--app")?)?,
+            "--scheme" => o.scheme = parse_scheme(value(&mut it, "--scheme")?)?,
+            "--cores" => o.cores = parse_cores(value(&mut it, "--cores")?)?,
+            "--scale" => o.scale = parse_scale(value(&mut it, "--scale")?)?,
+            "--breakdown" => o.breakdown = true,
+            "--check" => o.check = parse_check(value(&mut it, "--check")?)?,
+            "--trace" => o.trace_path = Some(value(&mut it, "--trace")?.clone()),
+            "--trace-summary" => o.trace_summary = true,
+            "--all" => all = true,
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok((o, all))
+}
+
+fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, CliError> {
+    let (default_apps, default_schemes) = default_axes();
+    let mut apps = default_apps;
+    let mut schemes = default_schemes;
+    let mut core_counts = vec![16];
+    let mut o = BenchOpts {
+        cells: Vec::new(),
+        scale: SuiteScale::Tiny,
+        jobs: None,
+        serial: false,
+        out: Some("results/BENCH_sweep.json".into()),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--apps" => {
+                apps = value(&mut it, "--apps")?
+                    .split(',')
+                    .map(validate_app)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--schemes" => {
+                schemes = value(&mut it, "--schemes")?
+                    .split(',')
+                    .map(parse_scheme)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cores" => {
+                core_counts = value(&mut it, "--cores")?
+                    .split(',')
+                    .map(parse_cores)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scale" => o.scale = parse_scale(value(&mut it, "--scale")?)?,
+            "--jobs" => {
+                let s = value(&mut it, "--jobs")?;
+                let n: usize =
+                    s.parse().map_err(|_| CliError(format!("--jobs: `{s}` is not a number")))?;
+                if n == 0 {
+                    return err("--jobs: need at least 1 worker");
+                }
+                o.jobs = Some(n);
+            }
+            "--serial" => o.serial = true,
+            "--out" => o.out = Some(value(&mut it, "--out")?.clone()),
+            "--all" if allow_all_flag => {}
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    if apps.is_empty() || schemes.is_empty() || core_counts.is_empty() {
+        return err("bench: the matrix has an empty axis");
+    }
+    o.cells = matrix(&apps, &schemes, &core_counts);
+    Ok(o)
+}
+
+/// Parse a full `suvtm` argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let (o, all) = parse_run_opts(&args[1..])?;
+            if all {
+                return err("--all is only valid with `sweep`");
+            }
+            Ok(Command::Run(o))
+        }
+        Some("sweep") => {
+            if args[1..].iter().any(|a| a == "--all") {
+                Ok(Command::Bench(parse_bench_opts(&args[1..], true)?))
+            } else {
+                let (o, _) = parse_run_opts(&args[1..])?;
+                Ok(Command::Sweep(o))
+            }
+        }
+        Some("bench") => Ok(Command::Bench(parse_bench_opts(&args[1..], false)?)),
+        Some("list") => {
+            if let Some(extra) = args.get(1) {
+                return err(format!("list takes no arguments (got `{extra}`)"));
+            }
+            Ok(Command::List)
+        }
+        Some(other) => err(format!("unknown command `{other}`")),
+        None => err("no command given"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn valid_run_parses() {
+        let cmd = parse(&args("run --app kmeans --scheme suv --cores 8 --scale paper"))
+            .expect("valid invocation");
+        match cmd {
+            Command::Run(o) => {
+                assert_eq!(o.app, "kmeans");
+                assert_eq!(o.scheme, SchemeKind::SuvTm);
+                assert_eq!(o.cores, 8);
+                assert_eq!(o.scale, SuiteScale::Paper);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_an_error_not_a_panic() {
+        let e = parse(&args("run --app nonesuch")).expect_err("must reject");
+        assert!(e.0.contains("unknown app"), "{e}");
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let e = parse(&args("run --app kmeans --cores 0")).expect_err("must reject");
+        assert!(e.0.contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn oversized_cores_rejected() {
+        let e = parse(&args("run --cores 65")).expect_err("must reject");
+        assert!(e.0.contains("64-core limit"), "{e}");
+        assert!(parse(&args("run --cores 64")).is_ok(), "64 is the inclusive max");
+    }
+
+    #[test]
+    fn non_numeric_cores_rejected() {
+        let e = parse(&args("run --cores sixteen")).expect_err("must reject");
+        assert!(e.0.contains("not a number"), "{e}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse(&args("run --app")).expect_err("must reject");
+        assert!(e.0.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = parse(&args("run --frobnicate")).expect_err("must reject");
+        assert!(e.0.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&args("benchmark")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn bench_defaults_cover_full_matrix() {
+        match parse(&args("bench")).expect("valid") {
+            Command::Bench(o) => {
+                assert_eq!(o.cells.len(), 8 * 6, "8 apps x 6 schemes x 1 core count");
+                assert_eq!(o.out.as_deref(), Some("results/BENCH_sweep.json"));
+                assert!(!o.serial);
+            }
+            other => panic!("expected Bench, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_axes_parse_as_lists() {
+        match parse(&args("bench --apps kmeans,genome --schemes suv,logtm --cores 4,8,16"))
+            .expect("valid")
+        {
+            Command::Bench(o) => assert_eq!(o.cells.len(), 2 * 2 * 3),
+            other => panic!("expected Bench, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_all_routes_to_bench() {
+        match parse(&args("sweep --all --cores 4")).expect("valid") {
+            Command::Bench(o) => assert_eq!(o.cells.len(), 8 * 6),
+            other => panic!("expected Bench, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_rejects_bad_axis_entries() {
+        assert!(parse(&args("bench --apps kmeans,bogus")).is_err());
+        assert!(parse(&args("bench --schemes suv,htm9000")).is_err());
+        assert!(parse(&args("bench --cores 4,0")).is_err());
+        assert!(parse(&args("bench --jobs 0")).is_err());
+    }
+}

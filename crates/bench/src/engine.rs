@@ -1,0 +1,196 @@
+//! The parallel experiment engine behind `suvtm bench` / `suvtm sweep
+//! --all`.
+//!
+//! A *cell* is one (workload, scheme, core-count) point of the paper's
+//! evaluation matrix (Figs. 6–9). Every cell is an independent,
+//! deterministic simulation that owns its whole `HtmMachine`, so the
+//! matrix fans out across host threads through
+//! [`suv::sim::run_jobs`] with no cross-cell state. Each cell runs with
+//! event tracing enabled (a small ring — the streaming FNV hash is
+//! unaffected by ring overflow) so its `trace_hash` doubles as the
+//! serial-vs-parallel bit-reproducibility oracle.
+//!
+//! Host wall-time is measured here (the bench crate is the one workspace
+//! crate allowed to read the wall clock) and reported per cell and for the
+//! whole sweep in `BENCH_sweep.json`, so simulator throughput
+//! (cycles/second) is tracked from this PR onward. The JSON splits into a
+//! deterministic part (simulated results, byte-identical across runs and
+//! across worker counts) and host-timing fields; [`sweep_json`] with
+//! `host: None` renders only the former, which is what the determinism
+//! tests compare.
+
+use crate::run_json;
+use std::time::Instant;
+use suv::prelude::*;
+use suv::sim::run_jobs;
+use suv::trace::Json;
+
+/// One point of the workload × scheme × core-count matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Workload name (see `suvtm list`).
+    pub app: String,
+    /// HTM scheme simulated.
+    pub scheme: SchemeKind,
+    /// Simulated core count.
+    pub cores: usize,
+}
+
+/// A completed cell: the deterministic simulation results plus the host
+/// wall-time this cell's simulation took.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// The matrix point this cell measured.
+    pub spec: CellSpec,
+    /// Full run result (stats + trace hash).
+    pub result: RunResult,
+    /// Host wall-time of the run, in milliseconds (not deterministic).
+    pub host_ms: f64,
+}
+
+impl BenchCell {
+    /// Simulated cycles per host second — the throughput figure the
+    /// perf trajectory tracks.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.host_ms <= 0.0 {
+            0.0
+        } else {
+            self.result.stats.cycles as f64 / (self.host_ms / 1000.0)
+        }
+    }
+}
+
+/// Build the full cross-product of the matrix axes, in deterministic
+/// row-major (app, scheme, cores) order.
+pub fn matrix(apps: &[String], schemes: &[SchemeKind], core_counts: &[usize]) -> Vec<CellSpec> {
+    let mut cells = Vec::with_capacity(apps.len() * schemes.len() * core_counts.len());
+    for app in apps {
+        for &scheme in schemes {
+            for &cores in core_counts {
+                cells.push(CellSpec { app: app.clone(), scheme, cores });
+            }
+        }
+    }
+    cells
+}
+
+/// The default bench axes: all eight STAMP workloads under every scheme.
+pub fn default_axes() -> (Vec<String>, Vec<SchemeKind>) {
+    let apps = suv::stamp::WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect();
+    let schemes = vec![
+        SchemeKind::LogTmSe,
+        SchemeKind::FasTm,
+        SchemeKind::Lazy,
+        SchemeKind::DynTm,
+        SchemeKind::SuvTm,
+        SchemeKind::DynTmSuv,
+    ];
+    (apps, schemes)
+}
+
+/// Run one cell: build a fresh workload and machine, simulate with tracing
+/// on (for the reproducibility hash), and time the run on the host clock.
+pub fn run_cell(spec: &CellSpec, scale: SuiteScale) -> BenchCell {
+    let mut w = by_name(&spec.app, scale)
+        .unwrap_or_else(|| panic!("unknown workload {} reached the engine", spec.app));
+    let cfg = MachineConfig { n_cores: spec.cores, ..Default::default() };
+    // 4K-event ring: the stream hash covers every event regardless of ring
+    // occupancy, and a small ring keeps the engine's memory bounded.
+    let tc = TraceConfig { ring_capacity: 1 << 12 };
+    let start = Instant::now();
+    let result = run_workload_traced(&cfg, spec.scheme, w.as_mut(), Some(tc));
+    let host_ms = start.elapsed().as_secs_f64() * 1000.0;
+    BenchCell { spec: spec.clone(), result, host_ms }
+}
+
+/// Run every cell of the matrix, fanned out over `workers` host threads
+/// (1 = the serial loop). Results come back in matrix order regardless of
+/// worker count.
+pub fn run_matrix(cells: &[CellSpec], scale: SuiteScale, workers: usize) -> Vec<BenchCell> {
+    run_jobs(cells.len(), workers, |i| run_cell(&cells[i], scale))
+}
+
+/// Host-side metadata for the sweep report.
+#[derive(Debug, Clone, Copy)]
+pub struct HostMeta {
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Wall-time of the whole sweep, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Render the `BENCH_sweep.json` document (schema `suv-bench-sweep/v1`,
+/// documented in README.md). With `host: None` every non-deterministic
+/// field (worker count, wall times, throughput) is omitted and the output
+/// is byte-identical across runs and worker counts — the form the
+/// determinism tests compare.
+pub fn sweep_json(cells: &[BenchCell], scale: SuiteScale, host: Option<HostMeta>) -> Json {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let mut row = vec![
+                ("cores", Json::U64(c.spec.cores as u64)),
+                ("trace_hash", Json::Str(format!("{:016x}", c.result.trace_hash))),
+                ("run", run_json(&c.result)),
+            ];
+            if host.is_some() {
+                row.push(("host_ms", Json::F64(c.host_ms)));
+                row.push(("cycles_per_sec", Json::F64(c.cycles_per_sec())));
+            }
+            Json::obj(row)
+        })
+        .collect();
+    let mut doc = vec![
+        ("schema", Json::from("suv-bench-sweep/v1")),
+        ("scale", Json::from(scale_name(scale))),
+        ("cells", Json::Arr(rows)),
+        ("sim_cycles_total", Json::U64(cells.iter().map(|c| c.result.stats.cycles).sum())),
+    ];
+    if let Some(h) = host {
+        doc.push(("workers", Json::U64(h.workers as u64)));
+        doc.push(("host_wall_ms", Json::F64(h.wall_ms)));
+        let total_cycles: u64 = cells.iter().map(|c| c.result.stats.cycles).sum();
+        let cps = if h.wall_ms > 0.0 { total_cycles as f64 / (h.wall_ms / 1000.0) } else { 0.0 };
+        doc.push(("cycles_per_sec", Json::F64(cps)));
+    }
+    Json::obj(doc)
+}
+
+/// The `--scale` flag spelling of a [`SuiteScale`].
+pub fn scale_name(scale: SuiteScale) -> &'static str {
+    match scale {
+        SuiteScale::Tiny => "tiny",
+        SuiteScale::Paper => "paper",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_row_major_cross_product() {
+        let cells =
+            matrix(&["a".into(), "b".into()], &[SchemeKind::LogTmSe, SchemeKind::SuvTm], &[4, 8]);
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0], CellSpec { app: "a".into(), scheme: SchemeKind::LogTmSe, cores: 4 });
+        assert_eq!(cells[1], CellSpec { app: "a".into(), scheme: SchemeKind::LogTmSe, cores: 8 });
+        assert_eq!(cells[7], CellSpec { app: "b".into(), scheme: SchemeKind::SuvTm, cores: 8 });
+    }
+
+    #[test]
+    fn default_axes_cover_the_paper_matrix() {
+        let (apps, schemes) = default_axes();
+        assert_eq!(apps.len(), 8);
+        assert_eq!(schemes.len(), 6);
+    }
+
+    #[test]
+    fn cycles_per_sec_guards_zero_time() {
+        let spec = CellSpec { app: "kmeans".into(), scheme: SchemeKind::SuvTm, cores: 4 };
+        let mut cell = run_cell(&spec, SuiteScale::Tiny);
+        assert!(cell.cycles_per_sec() > 0.0);
+        cell.host_ms = 0.0;
+        assert_eq!(cell.cycles_per_sec(), 0.0);
+    }
+}

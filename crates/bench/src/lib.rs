@@ -1,6 +1,11 @@
-//! Shared helpers for the figure/table regenerator binaries.
+//! Shared helpers for the figure/table regenerator binaries, plus the
+//! parallel experiment engine ([`engine`]) and the validated `suvtm`
+//! argument parser ([`cli`]).
 
 #![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod engine;
 
 pub use suv::prelude::*;
 pub use suv::trace::Json;

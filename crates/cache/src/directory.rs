@@ -5,8 +5,7 @@
 //! any) owns it exclusively. It is the filter the coherence protocol uses to
 //! decide which cores must see a GETS/GETM request.
 
-use std::collections::HashMap;
-use suv_types::{CoreId, LineAddr};
+use suv_types::{CoreId, FxHashMap, LineAddr};
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,9 +29,14 @@ impl DirEntry {
 }
 
 /// The full directory.
+///
+/// Keyed by the deterministic [`FxHashMap`]: the directory is consulted on
+/// every coherence request, and the trusted line-address keys need none of
+/// SipHash's DoS hardening. Entry *values* are unchanged, so timing and
+/// protocol behaviour are bit-identical to the SipHash representation.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: FxHashMap<LineAddr, DirEntry>,
     lookups: u64,
 }
 

@@ -67,18 +67,58 @@ impl<M: Clone + Default> TagArray<M> {
 
     /// Touch the line (LRU update). Returns true on hit. Counts hit/miss.
     pub fn touch(&mut self, line: LineAddr) -> bool {
+        self.hit_load(line).is_some()
+    }
+
+    /// Service a load hit in one set scan: LRU touch plus metadata access.
+    /// Counts hit/miss exactly as [`TagArray::touch`] does.
+    pub fn hit_load(&mut self, line: LineAddr) -> Option<&mut M> {
         self.tick += 1;
         let tick = self.tick;
         let s = self.set_of(line);
-        for w in &mut self.sets[s] {
-            if w.line == line {
+        match self.sets[s].iter_mut().find(|w| w.line == line) {
+            Some(w) => {
                 w.lru = tick;
                 self.hits += 1;
-                return true;
+                Some(&mut w.meta)
+            }
+            None => {
+                self.misses += 1;
+                None
             }
         }
-        self.misses += 1;
-        false
+    }
+
+    /// Service a store hit in one set scan: LRU touch, dirty mark, and
+    /// metadata access (replaces a `touch` + `meta_mut` + `mark_dirty`
+    /// triple scan on the hottest cache path). Counts hit/miss.
+    pub fn hit_store(&mut self, line: LineAddr) -> Option<&mut M> {
+        self.tick += 1;
+        let tick = self.tick;
+        let s = self.set_of(line);
+        match self.sets[s].iter_mut().find(|w| w.line == line) {
+            Some(w) => {
+                w.lru = tick;
+                w.dirty = true;
+                self.hits += 1;
+                Some(&mut w.meta)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Clear a resident line's dirty bit and report whether it was dirty,
+    /// in one set scan (replaces an `is_dirty` + `clean` pair). A
+    /// non-resident line reports `false`.
+    pub fn take_dirty(&mut self, line: LineAddr) -> bool {
+        let s = self.set_of(line);
+        match self.sets[s].iter_mut().find(|w| w.line == line) {
+            Some(w) => std::mem::replace(&mut w.dirty, false),
+            None => false,
+        }
     }
 
     /// Insert (or touch) the line; returns the eviction needed to make
@@ -168,6 +208,13 @@ impl<M: Clone + Default> TagArray<M> {
     /// Iterate over all resident lines.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.sets.iter().flat_map(|s| s.iter().map(|w| w.line))
+    }
+
+    /// Iterate mutably over every resident line's metadata (gang
+    /// operations like FasTM's speculative-bit clear, without re-finding
+    /// each line by address).
+    pub fn metas_mut(&mut self) -> impl Iterator<Item = &mut M> + '_ {
+        self.sets.iter_mut().flat_map(|s| s.iter_mut().map(|w| &mut w.meta))
     }
 
     /// Number of resident lines.
@@ -272,6 +319,51 @@ mod tests {
         for i in 0..4u64 {
             assert!(c.contains(i * 64));
         }
+    }
+
+    #[test]
+    fn hit_store_is_touch_plus_dirty_plus_meta() {
+        let mut c: TagArray<u32> =
+            TagArray::new(&CacheGeom { capacity_bytes: 512, ways: 2, line_bytes: 64, latency: 1 });
+        assert!(c.hit_store(0x40).is_none(), "miss counted");
+        c.insert(0x40, false);
+        *c.hit_store(0x40).expect("resident") = 9;
+        assert!(c.is_dirty(0x40));
+        assert_eq!(c.meta(0x40), Some(&9));
+        assert_eq!(c.hit_stats(), (1, 1));
+        // LRU is refreshed: after a newer line joins the set, a store hit
+        // on 0x40 makes 0x140 the LRU way again.
+        c.insert(0x140, false);
+        c.hit_store(0x40);
+        let ev = c.insert(0x240, false).expect("eviction");
+        assert_eq!(ev.line, 0x140, "hit_store must refresh LRU");
+    }
+
+    #[test]
+    fn take_dirty_clears_and_reports() {
+        let mut c = small();
+        assert!(!c.take_dirty(0x40), "non-resident is not dirty");
+        c.insert(0x40, true);
+        assert!(c.take_dirty(0x40));
+        assert!(!c.is_dirty(0x40));
+        assert!(!c.take_dirty(0x40), "second take sees a clean line");
+        assert!(c.contains(0x40), "take_dirty must not evict");
+    }
+
+    #[test]
+    fn metas_mut_visits_every_resident_line() {
+        let mut c: TagArray<u32> =
+            TagArray::new(&CacheGeom { capacity_bytes: 512, ways: 2, line_bytes: 64, latency: 1 });
+        for i in 0..4u64 {
+            c.insert(i * 64, false);
+        }
+        for m in c.metas_mut() {
+            *m += 1;
+        }
+        for i in 0..4u64 {
+            assert_eq!(c.meta(i * 64), Some(&1));
+        }
+        assert_eq!(c.metas_mut().count(), 4);
     }
 
     #[test]

@@ -125,18 +125,22 @@ impl MemorySystem {
     }
 
     /// Perform a permission-sufficient L1 hit: LRU touch, dirty/M update.
-    /// Returns the hit latency.
+    /// Returns the hit latency. One tag-array scan either way (the hottest
+    /// operation in the simulator).
     ///
     /// # Panics
     /// Debug-asserts that the caller checked [`Self::has_permission`].
     pub fn access_hit(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> Cycle {
         let line = line_of(addr);
         debug_assert!(self.has_permission(core, addr, kind));
-        self.l1s[core].touch(line);
-        if kind == AccessKind::Store {
-            let meta = self.l1s[core].meta_mut(line).expect("resident");
-            meta.state = Mesi::Modified;
-            self.l1s[core].mark_dirty(line);
+        match kind {
+            AccessKind::Load => {
+                self.l1s[core].hit_load(line);
+            }
+            AccessKind::Store => {
+                let meta = self.l1s[core].hit_store(line).expect("resident");
+                meta.state = Mesi::Modified;
+            }
         }
         self.stats.l1_hits += 1;
         self.cfg.l1.latency
@@ -144,7 +148,10 @@ impl MemorySystem {
 
     /// Latency of receiving a NACK for a request to `line`: the request
     /// travels to the directory, is forwarded to the conflicting core, and
-    /// the NACK returns to the requester. No state changes.
+    /// the NACK returns to the requester. Each `Mesh` leg is one-way
+    /// ([`Mesh::core_to_bank`] routes the request leg only), so the three
+    /// legs below compose the full round trip exactly once. No state
+    /// changes.
     pub fn nack_latency(&mut self, now: Cycle, core: CoreId, addr: Addr, nacker: CoreId) -> Cycle {
         let line = line_of(addr);
         let to_dir = self.mesh.core_to_bank(now, core, line);
@@ -161,6 +168,13 @@ impl MemorySystem {
     /// Resolve a miss (or upgrade) for `core` on `addr` with a full
     /// coherence transaction. The caller has already performed its conflict
     /// checks and decided to proceed.
+    ///
+    /// Every mesh leg is one-way; the legs composed here are, in order:
+    /// request `core -> dir`, then either `dir -> owner -> core`
+    /// (cache-to-cache) or `dir -> mem ctrl -> dir -> core` (L2/memory
+    /// fill, the middle leg only on an L2 miss), plus for stores the
+    /// farthest `dir -> sharer -> core` invalidation/ack pair. No leg is
+    /// charged twice and none is skipped.
     pub fn fill(&mut self, now: Cycle, core: CoreId, addr: Addr, kind: AccessKind) -> FillOutcome {
         let line = line_of(addr);
         self.stats.l1_misses += 1;
@@ -188,8 +202,7 @@ impl MemorySystem {
             match kind {
                 AccessKind::Load => {
                     // M -> S: dirty data written back to L2.
-                    if self.l1s[owner].is_dirty(line) {
-                        self.l1s[owner].clean(line);
+                    if self.l1s[owner].take_dirty(line) {
                         self.stats.writebacks += 1;
                     }
                     if let Some(m) = self.l1s[owner].meta_mut(line) {
@@ -218,13 +231,20 @@ impl MemorySystem {
                 let free = self.bank_busy[bank].max(ready);
                 latency += free - ready + self.cfg.mem_latency;
                 self.bank_busy[bank] = free + self.bank_occupancy;
+                // The fetched line travels back to its home bank (it is
+                // installed in the L2 there) before being forwarded to the
+                // requester — a previously un-charged leg.
+                latency += self.mesh.route(now + latency, ctrl, dir_node);
                 self.l2.insert(line, false);
             }
             // Data returns to the requester.
             latency += self.mesh.route(now + latency, dir_node, self.mesh.core_node(core));
         }
 
-        // Invalidate remote sharers on a store (parallel; pay the farthest).
+        // Invalidate remote sharers on a store (parallel; pay the farthest
+        // invalidation + acknowledgement chain — the store cannot complete
+        // until the last sharer's ack reaches the requester; the ack leg
+        // was previously un-charged).
         if kind == AccessKind::Store {
             let victims = entry.sharers & !(1 << core);
             if victims != 0 {
@@ -233,8 +253,14 @@ impl MemorySystem {
                     if victims & (1 << v) != 0 && Some(v) != remote_owner {
                         self.l1s[v].invalidate(line);
                         self.stats.invalidations += 1;
-                        let inv = self.mesh.route(now + latency, dir_node, self.mesh.core_node(v));
-                        worst = worst.max(inv);
+                        let victim_node = self.mesh.core_node(v);
+                        let inv = self.mesh.route(now + latency, dir_node, victim_node);
+                        let ack = self.mesh.route(
+                            now + latency + inv,
+                            victim_node,
+                            self.mesh.core_node(core),
+                        );
+                        worst = worst.max(inv + ack);
                     }
                 }
                 latency += worst;
@@ -355,14 +381,21 @@ impl MemorySystem {
     /// through [`Self::check_line_invariants`]. `Err` carries the first
     /// violation.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (line, _) in self.dir.iter() {
+        // Sort so the *first* violation reported is independent of map
+        // iteration order (the checker is off the timing path; the sort is
+        // free as far as simulated cycles are concerned).
+        let mut lines: Vec<LineAddr> = self.dir.iter().map(|(l, _)| l).collect();
+        lines.sort_unstable();
+        for line in lines {
             self.check_line_invariants(line)?;
         }
         // Lines resident in an L1 but absent from the directory would be
         // skipped above (a dropped sharer bit erases the entry), so sweep
         // the caches too.
         for c in 0..self.cfg.n_cores {
-            for line in self.l1s[c].resident_lines().collect::<Vec<_>>() {
+            let mut resident: Vec<LineAddr> = self.l1s[c].resident_lines().collect();
+            resident.sort_unstable();
+            for line in resident {
                 self.check_line_invariants(line)?;
             }
         }
@@ -409,12 +442,11 @@ impl MemorySystem {
     }
 
     /// Clear all speculative marks in `core`'s L1; returns how many lines
-    /// were marked (the gang-clear at commit/abort).
+    /// were marked (the gang-clear at commit/abort). Single pass over the
+    /// tag array instead of one by-address lookup per resident line.
     pub fn clear_speculative(&mut self, core: CoreId) -> u64 {
-        let lines: Vec<LineAddr> = self.l1s[core].resident_lines().collect();
         let mut n = 0;
-        for l in lines {
-            let m = self.l1s[core].meta_mut(l).expect("resident");
+        for m in self.l1s[core].metas_mut() {
             if m.speculative {
                 m.speculative = false;
                 n += 1;
@@ -434,11 +466,12 @@ impl MemorySystem {
 
     /// Write back `core`'s dirty copy of the line to the L2 and mark it
     /// clean. Returns the charged latency (FasTM's old-value write-back
-    /// before the first speculative update of a dirty line).
+    /// before the first speculative update of a dirty line). The single
+    /// `core -> bank` leg is deliberate: a write-back is posted, the core
+    /// does not wait for an acknowledgement.
     pub fn writeback_line(&mut self, now: Cycle, core: CoreId, addr: Addr) -> Cycle {
         let line = line_of(addr);
-        if self.l1s[core].is_dirty(line) {
-            self.l1s[core].clean(line);
+        if self.l1s[core].take_dirty(line) {
             self.l2.insert(line, true);
             self.stats.writebacks += 1;
             self.cfg.l2.latency + self.mesh.core_to_bank(now, core, line)

@@ -17,7 +17,6 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
 use suv_types::{Cycle, MachineConfig};
 
 /// A node position in the mesh.
@@ -27,40 +26,65 @@ pub struct Node {
     pub y: usize,
 }
 
-/// A directed link between adjacent mesh nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Link {
-    from: Node,
-    to: Node,
-}
+/// Outgoing-link directions from a node, in dense-id order.
+const DIR_EAST: usize = 0;
+const DIR_WEST: usize = 1;
+const DIR_SOUTH: usize = 2;
+const DIR_NORTH: usize = 3;
+const DIRS: usize = 4;
 
 /// Mesh interconnect.
+///
+/// Per-link occupancy lives in a flat `Vec<Cycle>` indexed by a dense link
+/// id (`node * 4 + direction`) rather than a hash map keyed by endpoint
+/// pairs: the contended-routing loop is the hottest interconnect path, and
+/// an index into a pre-sized vector is both faster and trivially
+/// deterministic.
 #[derive(Debug, Clone)]
 pub struct Mesh {
     side: usize,
     wire: Cycle,
     route: Cycle,
     model_contention: bool,
-    /// Per-link time at which the link becomes free.
-    busy_until: HashMap<Link, Cycle>,
+    /// Per-link time at which the link becomes free, indexed by
+    /// [`Mesh::link_id`].
+    busy_until: Vec<Cycle>,
     /// Total queuing cycles accumulated (stats).
     contention_cycles: Cycle,
-    /// Messages routed (stats).
+    /// Messages routed (stats). Zero-hop self-routes (core and bank on the
+    /// same node) cross no link and are not counted.
     messages: u64,
 }
 
 impl Mesh {
     /// Build the mesh from the machine configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
+        let side = cfg.mesh_side();
         Mesh {
-            side: cfg.mesh_side(),
+            side,
             wire: cfg.noc_wire_latency,
             route: cfg.noc_route_latency,
             model_contention: cfg.noc_contention,
-            busy_until: HashMap::new(),
+            busy_until: vec![0; side * side * DIRS],
             contention_cycles: 0,
             messages: 0,
         }
+    }
+
+    /// Dense id of the directed link leaving `from` toward the adjacent
+    /// node `to`.
+    fn link_id(&self, from: Node, to: Node) -> usize {
+        debug_assert_eq!(from.x.abs_diff(to.x) + from.y.abs_diff(to.y), 1, "not adjacent");
+        let dir = if to.x > from.x {
+            DIR_EAST
+        } else if to.x < from.x {
+            DIR_WEST
+        } else if to.y > from.y {
+            DIR_SOUTH
+        } else {
+            DIR_NORTH
+        };
+        (from.y * self.side + from.x) * DIRS + dir
     }
 
     /// Mesh side length.
@@ -105,7 +129,14 @@ impl Mesh {
 
     /// Route a message at time `now`; returns total network latency
     /// (including any queuing when contention modeling is on).
+    ///
+    /// A zero-hop self-route (`a == b`, e.g. a core whose L2 bank shares
+    /// its mesh node) crosses no link: it is free, reserves nothing, and is
+    /// not counted as a message.
     pub fn route(&mut self, now: Cycle, a: Node, b: Node) -> Cycle {
+        if a == b {
+            return 0;
+        }
         self.messages += 1;
         if !self.model_contention {
             return self.base_latency(a, b);
@@ -119,21 +150,25 @@ impl Mesh {
             } else {
                 Node { x: cur.x, y: if b.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
             };
-            let link = Link { from: cur, to: next };
-            let free = self.busy_until.get(&link).copied().unwrap_or(0);
+            let link = self.link_id(cur, next);
+            let free = self.busy_until[link];
             if free > t {
                 self.contention_cycles += free - t;
                 t = free;
             }
             // Link is occupied for the wire time of this flit.
-            self.busy_until.insert(link, t + self.wire);
+            self.busy_until[link] = t + self.wire;
             t += self.wire + self.route;
             cur = next;
         }
         t - now
     }
 
-    /// Round-trip latency estimate between a core and the L2 bank of a line.
+    /// **One-way** latency of a message from a core to the L2 bank of a
+    /// line (request leg only). Callers composing a full coherence
+    /// transaction must charge every further leg — bank to owner, data
+    /// back to the requester, and so on — separately via [`Mesh::route`];
+    /// `suv-coherence::system` does exactly that.
     pub fn core_to_bank(&mut self, now: Cycle, core: usize, line_addr: u64) -> Cycle {
         let a = self.core_node(core);
         let b = self.l2_bank_node(line_addr);
@@ -212,6 +247,58 @@ mod tests {
         assert!(l2 > l1, "expected queuing delay, got {l2}");
         assert!(m.contention_cycles() > 0);
         assert_eq!(m.messages(), 2);
+    }
+
+    #[test]
+    fn zero_hop_self_route_is_free_and_uncounted() {
+        // Regression: a core whose L2 bank sits on the same mesh node used
+        // to be counted as a routed message (and consulted the contention
+        // model), inflating message counts and per-message contention
+        // averages.
+        let cfg = MachineConfig { noc_contention: true, ..Default::default() };
+        let mut m = Mesh::new(&cfg);
+        let n = Node { x: 2, y: 1 };
+        for _ in 0..5 {
+            assert_eq!(m.route(0, n, n), 0);
+        }
+        assert_eq!(m.messages(), 0, "self-routes must not count as messages");
+        assert_eq!(m.contention_cycles(), 0);
+        // A real message afterwards is unaffected.
+        assert_eq!(m.route(0, n, Node { x: 3, y: 1 }), 3);
+        assert_eq!(m.messages(), 1);
+    }
+
+    #[test]
+    fn core_to_bank_same_node_is_free() {
+        let mut m = mesh();
+        // Core 5 sits at (1,1) = node 5; bank of line with (addr>>6)%16 == 5.
+        let line = 5u64 * 64;
+        assert_eq!(m.l2_bank_node(line), m.core_node(5));
+        assert_eq!(m.core_to_bank(0, 5, line), 0);
+        assert_eq!(m.messages(), 0);
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_distinct() {
+        let m = mesh();
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                let n = Node { x, y };
+                for d in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                    let nx = x as i64 + d.0;
+                    let ny = y as i64 + d.1;
+                    if (0..4).contains(&nx) && (0..4).contains(&ny) {
+                        let to = Node { x: nx as usize, y: ny as usize };
+                        let id = m.link_id(n, to);
+                        assert!(id < 4 * 4 * 4, "id {id} out of range");
+                        assert!(seen.insert(id), "duplicate link id {id}");
+                    }
+                }
+            }
+        }
+        // 2 * 2 * side * (side-1) directed links in a side x side mesh.
+        assert_eq!(seen.len(), 2 * 2 * 4 * 3);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod pool;
 pub mod runner;
 pub mod sched;
 pub mod scheme;
 
 pub use context::{Abort, SetupCtx, ThreadCtx, Tx};
+pub use pool::{default_workers, run_jobs};
 pub use runner::{run_workload, run_workload_traced, RunResult, TraceConfig, Workload};
 pub use sched::Scheduler;
 pub use scheme::build_vm;

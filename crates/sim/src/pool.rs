@@ -1,0 +1,116 @@
+//! Bounded job pool for fanning independent simulation runs across host
+//! threads.
+//!
+//! Each simulation run owns its whole `HtmMachine`, so a workload × scheme
+//! × core-count sweep is embarrassingly parallel: the only shared state
+//! between cells is the result vector. [`run_jobs`] executes `jobs`
+//! closures on at most `workers` host threads, depositing each result in
+//! its job-index slot — so the output order (and therefore everything
+//! downstream, including `BENCH_sweep.json`) is independent of which host
+//! thread finished first. Determinism of each *cell* is the simulator's
+//! own guarantee; the pool adds no shared mutable state a run could
+//! observe.
+//!
+//! Work distribution is a single atomic cursor: workers claim the next
+//! unclaimed job index until none remain. A panic inside any job
+//! propagates out of [`run_jobs`] when the scope joins, so a failing cell
+//! cannot be silently dropped from a sweep.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of host workers to use by default: the host's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Run `jobs` independent jobs on at most `workers` host threads and
+/// return their results in job order. `job(i)` is called exactly once for
+/// every `i in 0..jobs`, from an unspecified host thread.
+///
+/// `workers` is clamped to `1..=jobs`; `run_jobs(n, 1, f)` is the serial
+/// loop, bit-identical in output to any other worker count.
+///
+/// # Panics
+/// Re-raises (at scope join) any panic raised by a job.
+pub fn run_jobs<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = job(i);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every claimed job deposits a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        for workers in [1, 2, 7, 64] {
+            let out = run_jobs(20, workers, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        run_jobs(50, 8, |i| calls[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u64> = run_jobs(0, 4, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The property the parallel sweep engine rests on: output is a pure
+        // function of the job index, never of host-thread interleaving.
+        let serial = run_jobs(16, 1, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        let parallel = run_jobs(16, 16, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn job_panics_propagate() {
+        run_jobs(8, 4, |i| {
+            assert!(i != 3, "job 3 exploded");
+            i
+        });
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -121,10 +121,12 @@ pub fn run_workload_traced(
     });
 
     let mut per_thread = Vec::with_capacity(cfg.n_cores);
+    let mut per_thread_cycles = Vec::with_capacity(cfg.n_cores);
     let mut end = 0;
     for slot in &contexts {
         let ctx = slot.lock().take().expect("worker must deposit its context");
         end = end.max(ctx.now());
+        per_thread_cycles.push(ctx.now());
         per_thread.push(ctx.breakdown());
     }
 
@@ -153,6 +155,7 @@ pub fn run_workload_traced(
     let stats = MachineStats {
         cycles: end,
         per_thread,
+        per_thread_cycles,
         tx,
         overflow: machine.overflow_stats(),
         redirect: machine.vm().redirect_stats(),
@@ -264,14 +267,34 @@ mod tests {
 
     #[test]
     fn breakdown_accounts_all_time() {
-        let r = run_counter(SchemeKind::LogTmSe);
-        // Every thread's breakdown total must equal its end time — modulo
-        // barrier alignment, each component was charged somewhere.
-        let total = r.stats.total_breakdown().total();
-        assert!(total > 0);
-        // The max thread clock bounds any single thread's breakdown.
-        for b in &r.stats.per_thread {
-            assert!(b.total() <= r.stats.cycles);
+        // Every thread's breakdown total must equal its end-of-run clock
+        // exactly: each consumed cycle is attributed to exactly one
+        // component, with nothing double-counted and nothing dropped.
+        for scheme in [
+            SchemeKind::LogTmSe,
+            SchemeKind::FasTm,
+            SchemeKind::SuvTm,
+            SchemeKind::Lazy,
+            SchemeKind::DynTm,
+            SchemeKind::DynTmSuv,
+        ] {
+            let r = run_counter(scheme);
+            assert_eq!(r.stats.per_thread.len(), r.stats.per_thread_cycles.len());
+            let mut max_clock = 0;
+            for (tid, (b, clock)) in
+                r.stats.per_thread.iter().zip(&r.stats.per_thread_cycles).enumerate()
+            {
+                assert_eq!(
+                    b.total(),
+                    *clock,
+                    "{scheme:?} thread {tid}: breakdown {b:?} does not reconcile \
+                     with its end clock"
+                );
+                max_clock = max_clock.max(*clock);
+            }
+            // The reported run length is the latest thread clock.
+            assert_eq!(max_clock, r.stats.cycles, "{scheme:?}: cycles != max thread clock");
+            assert!(r.stats.total_breakdown().total() > 0);
         }
     }
 }

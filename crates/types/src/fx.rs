@@ -1,0 +1,128 @@
+//! Deterministic, fast hashing for simulator-internal maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash with a per-process
+//! random key. The key only affects bucket order — lookups stay correct —
+//! but SipHash is far slower than needed for the trusted integer keys the
+//! simulator uses (line addresses, page numbers), and the randomized
+//! iteration order is a determinism hazard for any caller that lets order
+//! escape. [`FxHasher`] is the rustc-style multiply-xor hash: seedless,
+//! deterministic across processes, and a fraction of SipHash's cost on
+//! 8-byte keys. Hot-path state (`Memory` pages, the sharer directory)
+//! hashes with it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit spread constant (2^64 / phi), as used by rustc's FxHash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc FxHash function: per-word rotate, xor, multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+}
+
+/// `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_one(0x1234_5678u64), hash_one(0x1234_5678u64));
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+    }
+
+    #[test]
+    fn golden_values_pin_the_function() {
+        // Changing the hash function silently reorders map internals; these
+        // pins make any such change an explicit test edit.
+        assert_eq!(hash_one(0u64), 0);
+        assert_eq!(hash_one(1u64), SEED.wrapping_mul(1 ^ 0));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes() {
+        // Line addresses hash through write_u64; ensure the byte path used
+        // by derived Hash impls of composite keys is also deterministic.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

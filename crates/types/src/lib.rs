@@ -9,6 +9,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fx;
 pub mod stats;
 
 pub use addr::{
@@ -19,6 +20,7 @@ pub use config::{
     BackoffConfig, CacheGeom, CheckLevel, ConflictPolicy, DynTmConfig, HtmConfig, MachineConfig,
     SchemeKind, SuvConfig,
 };
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use stats::{Breakdown, BreakdownKind, MachineStats, OverflowStats, RedirectStats, TxStats};
 
 /// Simulated time, in processor clock cycles.

@@ -255,6 +255,11 @@ pub struct MachineStats {
     pub cycles: Cycle,
     /// Per-thread execution-time breakdowns.
     pub per_thread: Vec<Breakdown>,
+    /// Per-thread end-of-run clocks; `per_thread[i].total()` must equal
+    /// `per_thread_cycles[i]` (every consumed cycle is attributed to
+    /// exactly one breakdown component — the reconciliation the runner's
+    /// accounting test enforces).
+    pub per_thread_cycles: Vec<Cycle>,
     /// Aggregated transaction counters.
     pub tx: TxStats,
     /// Aggregated overflow counters.

@@ -1,0 +1,117 @@
+//! Integration tests for the parallel experiment engine: the parallel
+//! sweep must be bit-identical to the serial one, and the deterministic
+//! part of `BENCH_sweep.json` must be byte-identical across runs.
+
+use suv::prelude::*;
+use suv::sim::default_workers;
+use suv_bench::engine::{matrix, run_matrix, sweep_json, BenchCell};
+
+/// A small but multi-axis matrix: 2 apps x 3 schemes x 2 core counts.
+fn small_matrix() -> Vec<suv_bench::engine::CellSpec> {
+    matrix(
+        &["kmeans".into(), "intruder".into()],
+        &[SchemeKind::LogTmSe, SchemeKind::SuvTm, SchemeKind::Lazy],
+        &[4, 8],
+    )
+}
+
+fn assert_cells_identical(serial: &[BenchCell], parallel: &[BenchCell]) {
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.spec, p.spec, "matrix order must not depend on worker count");
+        let cell = format!("{}/{:?}/{}c", s.spec.app, s.spec.scheme, s.spec.cores);
+        assert_eq!(
+            s.result.trace_hash, p.result.trace_hash,
+            "{cell}: trace hash differs between serial and parallel"
+        );
+        assert_ne!(s.result.trace_hash, 0, "{cell}: bench cells must be traced");
+        assert_eq!(s.result.stats.cycles, p.result.stats.cycles, "{cell}: cycles differ");
+        assert_eq!(
+            s.result.stats.tx.commits, p.result.stats.tx.commits,
+            "{cell}: commit counts differ"
+        );
+        assert_eq!(
+            s.result.stats.tx.aborts, p.result.stats.tx.aborts,
+            "{cell}: abort counts differ"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let cells = small_matrix();
+    let serial = run_matrix(&cells, SuiteScale::Tiny, 1);
+    // More workers than cells exercises the clamp; interleaving on a
+    // single-CPU host still reorders completions via the OS scheduler.
+    let parallel = run_matrix(&cells, SuiteScale::Tiny, 16);
+    assert_cells_identical(&serial, &parallel);
+}
+
+#[test]
+fn parallel_sweep_matches_at_host_parallelism() {
+    // Whatever worker count `suvtm bench` would actually pick by default
+    // must reproduce the serial results too.
+    let cells = small_matrix()[..3].to_vec();
+    let serial = run_matrix(&cells, SuiteScale::Tiny, 1);
+    let parallel = run_matrix(&cells, SuiteScale::Tiny, default_workers());
+    assert_cells_identical(&serial, &parallel);
+}
+
+#[test]
+fn bench_sweep_json_deterministic_part_is_stable() {
+    let cells = small_matrix();
+    // Two fully independent sweeps at different worker counts.
+    let a = run_matrix(&cells, SuiteScale::Tiny, 4);
+    let b = run_matrix(&cells, SuiteScale::Tiny, 2);
+    // `host: None` renders only the deterministic payload (no wall times,
+    // no worker count) — it must be byte-identical run to run.
+    let ja = sweep_json(&a, SuiteScale::Tiny, None).render();
+    let jb = sweep_json(&b, SuiteScale::Tiny, None).render();
+    assert_eq!(ja, jb, "deterministic BENCH_sweep payload drifted between runs");
+    assert!(ja.contains("\"schema\":\"suv-bench-sweep/v1\""));
+    assert!(ja.contains("\"trace_hash\":\""), "hashes must be rendered as hex strings");
+    assert!(!ja.contains("host_ms"), "host timing must not leak into the deterministic payload");
+}
+
+#[test]
+fn full_json_carries_host_timing_fields() {
+    use suv_bench::engine::HostMeta;
+    let cells = small_matrix()[..1].to_vec();
+    let done = run_matrix(&cells, SuiteScale::Tiny, 1);
+    let j =
+        sweep_json(&done, SuiteScale::Tiny, Some(HostMeta { workers: 1, wall_ms: 12.5 })).render();
+    for key in ["host_wall_ms", "workers", "cycles_per_sec", "host_ms", "sim_cycles_total"] {
+        assert!(j.contains(key), "full BENCH_sweep.json must carry `{key}`");
+    }
+}
+
+/// The wall-time acceptance check: on a host with >= 4 cores, the parallel
+/// sweep must beat the serial sweep by >= 3x. Skipped (with a note) on
+/// smaller hosts, where the pool degenerates to near-serial execution and
+/// the ratio is meaningless.
+#[test]
+fn parallel_sweep_speedup_on_multicore_hosts() {
+    let workers = default_workers();
+    if workers < 4 {
+        eprintln!("host has {workers} core(s) < 4; skipping wall-time speedup check");
+        return;
+    }
+    use std::time::Instant;
+    // One warm-up sweep so allocator/page-cache effects don't skew either
+    // timed sweep, then time serial vs parallel on identical work.
+    let cells = small_matrix();
+    run_matrix(&cells, SuiteScale::Tiny, workers);
+    let t0 = Instant::now();
+    let serial = run_matrix(&cells, SuiteScale::Tiny, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let t1 = Instant::now();
+    let parallel = run_matrix(&cells, SuiteScale::Tiny, workers);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1000.0;
+    assert_cells_identical(&serial, &parallel);
+    let speedup = serial_ms / parallel_ms.max(f64::MIN_POSITIVE);
+    assert!(
+        speedup >= 3.0,
+        "parallel sweep only {speedup:.2}x faster ({serial_ms:.0} ms -> {parallel_ms:.0} ms) \
+         on a {workers}-core host"
+    );
+}
