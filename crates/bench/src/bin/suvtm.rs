@@ -7,8 +7,18 @@
 //! suvtm sweep --all [--jobs N]         # full matrix, parallel
 //! suvtm bench [--apps A,B] [--schemes S,..] [--cores N,M] [--jobs N]
 //!             [--serial] [--out PATH]  # parallel matrix -> BENCH_sweep.json
+//! suvtm bench --profile [--reps N] [--baseline PATH] [--tolerance PCT]
+//!                                      # host throughput -> BENCH_host.json
 //! suvtm list                           # workloads and schemes
 //! ```
+//!
+//! `bench --profile` times the engine-sensitive profile matrix serially
+//! (min wall-time of `--reps` repetitions per cell, with the scheduler-
+//! wait / machine-time / trace-overhead breakdown from the host probe)
+//! and writes `BENCH_host.json` (schema `suv-bench-host/v1`). With
+//! `--baseline`, the run exits 1 when geomean throughput regressed more
+//! than `--tolerance` percent below the committed baseline — the CI
+//! `perf-smoke` gate.
 //!
 //! `bench` (and `sweep --all`) runs the workload × scheme × core-count
 //! matrix as independent deterministic simulations fanned out across host
@@ -38,6 +48,9 @@ use suv::sim::default_workers;
 use suv::stamp::WORKLOAD_NAMES;
 use suv_bench::cli::{self, BenchOpts, Command, RunOpts, USAGE};
 use suv_bench::engine::{run_matrix, scale_name, sweep_json, HostMeta};
+use suv_bench::profile::{
+    baseline_geomean, check_regression, geomean_cycles_per_sec, host_json, run_cell_profiled,
+};
 
 fn config(cores: usize, check: CheckLevel) -> MachineConfig {
     MachineConfig { n_cores: cores, check, ..Default::default() }
@@ -152,7 +165,81 @@ fn cmd_sweep_one(o: &RunOpts) {
     }
 }
 
+/// Write a rendered JSON document, creating parent directories.
+fn write_doc(path: &str, body: String) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+        }
+    }
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// `suvtm bench --profile`: host-throughput profiling over the
+/// engine-sensitive matrix, with the optional baseline regression gate.
+fn cmd_bench_profile(o: &BenchOpts) {
+    eprintln!(
+        "suvtm bench --profile: {} cells ({}), min of {} rep{}, serial",
+        o.cells.len(),
+        scale_name(o.scale),
+        o.reps,
+        if o.reps == 1 { "" } else { "s" },
+    );
+    let start = Instant::now();
+    let cells: Vec<_> = o.cells.iter().map(|c| run_cell_profiled(c, o.scale, o.reps)).collect();
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    for c in &cells {
+        println!(
+            "{:<14} {:<10} {:>2} cores {:>12} cycles  {:>8.1} ms  {:>6.1} Mcyc/s  \
+             wait={:<7.1} machine={:<7.1} trace={:<6.1} ms  handoffs {}/{} taken",
+            c.spec.app,
+            c.spec.scheme.name(),
+            c.spec.cores,
+            c.result.stats.cycles,
+            c.host_ms,
+            c.cycles_per_sec() / 1e6,
+            c.sched_wait_ms,
+            c.machine_ms,
+            c.trace_overhead_ms(),
+            c.sched_counter("sched.handoffs_taken"),
+            c.sched_counter("sched.handoffs_taken") + c.sched_counter("sched.handoffs_elided"),
+        );
+    }
+    let geomean = geomean_cycles_per_sec(&cells);
+    println!(
+        "geomean: {:.2} Mcyc/s over {} cells ({:.1} ms host wall)",
+        geomean / 1e6,
+        cells.len(),
+        wall_ms,
+    );
+    if let Some(path) = &o.out {
+        let doc = host_json(&cells, o.scale, o.reps, Some(HostMeta { workers: 1, wall_ms }));
+        write_doc(path, doc.render());
+    }
+    if let Some(path) = &o.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base = baseline_geomean(&text)
+            .unwrap_or_else(|| panic!("{path}: no geomean_cycles_per_sec field"));
+        match check_regression(geomean, base, o.tolerance) {
+            Ok(()) => println!(
+                "baseline: {:.2} Mcyc/s, current is {:+.1}% — ok",
+                base / 1e6,
+                100.0 * (geomean / base - 1.0),
+            ),
+            Err(msg) => {
+                eprintln!("suvtm: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_bench(o: &BenchOpts) {
+    if o.profile {
+        return cmd_bench_profile(o);
+    }
     let workers = if o.serial { 1 } else { o.jobs.unwrap_or_else(default_workers) };
     eprintln!(
         "suvtm bench: {} cells ({}), {} host worker{}",
@@ -189,14 +276,7 @@ fn cmd_bench(o: &BenchOpts) {
     );
     if let Some(path) = &o.out {
         let doc = sweep_json(&cells, o.scale, Some(HostMeta { workers, wall_ms }));
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
-            }
-        }
-        std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_doc(path, doc.render());
     }
 }
 

@@ -6,6 +6,7 @@
 //! non-zero status instead of panicking with a backtrace.
 
 use crate::engine::{default_axes, matrix, CellSpec};
+use crate::profile::{profile_axes, PROFILE_SCALE};
 use suv::prelude::*;
 use suv::stamp::by_name;
 
@@ -20,6 +21,10 @@ usage: suvtm <run|sweep|bench|list> [options]
          [--jobs N] [--out PATH]            (--all: parallel full matrix)
   bench  [--apps A,B,..] [--schemes S,..] [--cores N,M,..] [--scale tiny|paper]
          [--jobs N] [--serial] [--out PATH] (default out: results/BENCH_sweep.json)
+         [--profile] [--reps N] [--baseline PATH] [--tolerance PCT]
+         (--profile: host-throughput profiling on the engine-sensitive
+          matrix, serial, default out results/BENCH_host.json; with
+          --baseline, exits 1 on a geomean regression beyond PCT, def. 30)
   list   show workloads, schemes, scales and check levels
 
 run `suvtm list` for valid names";
@@ -72,6 +77,17 @@ pub struct BenchOpts {
     pub serial: bool,
     /// Where to write `BENCH_sweep.json` (`None` = don't write).
     pub out: Option<String>,
+    /// Host-throughput profiling mode (`--profile`): min-of-`reps`
+    /// wall-time per cell with the host-time breakdown, always serial,
+    /// writing `BENCH_host.json` instead of `BENCH_sweep.json`.
+    pub profile: bool,
+    /// Wall-time repetitions per profiled cell (min is reported).
+    pub reps: usize,
+    /// Committed `BENCH_host.json` to gate against (`--profile` only).
+    pub baseline: Option<String>,
+    /// Allowed geomean throughput regression vs the baseline, as a
+    /// fraction (0.30 = fail when more than 30% slower).
+    pub tolerance: f64,
 }
 
 /// A fully parsed and validated `suvtm` invocation.
@@ -179,16 +195,27 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
 }
 
 fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, CliError> {
-    let (default_apps, default_schemes) = default_axes();
-    let mut apps = default_apps;
-    let mut schemes = default_schemes;
-    let mut core_counts = vec![16];
+    // `--profile` changes the matrix and output defaults, so detect it
+    // before walking the flags in order.
+    let profile = args.iter().any(|a| a == "--profile");
+    let (mut apps, mut schemes, mut core_counts) = if profile {
+        profile_axes()
+    } else {
+        let (apps, schemes) = default_axes();
+        (apps, schemes, vec![16])
+    };
     let mut o = BenchOpts {
         cells: Vec::new(),
-        scale: SuiteScale::Tiny,
+        scale: if profile { PROFILE_SCALE } else { SuiteScale::Tiny },
         jobs: None,
-        serial: false,
-        out: Some("results/BENCH_sweep.json".into()),
+        serial: profile,
+        out: Some(
+            if profile { "results/BENCH_host.json" } else { "results/BENCH_sweep.json" }.into(),
+        ),
+        profile,
+        reps: 3,
+        baseline: None,
+        tolerance: 0.30,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -223,9 +250,38 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
             }
             "--serial" => o.serial = true,
             "--out" => o.out = Some(value(&mut it, "--out")?.clone()),
+            "--profile" => {} // pre-scanned above
+            "--reps" => {
+                let s = value(&mut it, "--reps")?;
+                let n: usize =
+                    s.parse().map_err(|_| CliError(format!("--reps: `{s}` is not a number")))?;
+                if n == 0 {
+                    return err("--reps: need at least 1 repetition");
+                }
+                o.reps = n;
+            }
+            "--baseline" => o.baseline = Some(value(&mut it, "--baseline")?.clone()),
+            "--tolerance" => {
+                let s = value(&mut it, "--tolerance")?;
+                let pct: f64 = s
+                    .parse()
+                    .map_err(|_| CliError(format!("--tolerance: `{s}` is not a number")))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return err("--tolerance: percent must be in 0..=100");
+                }
+                o.tolerance = pct / 100.0;
+            }
             "--all" if allow_all_flag => {}
             other => return err(format!("unknown option `{other}`")),
         }
+    }
+    if !o.profile
+        && (o.baseline.is_some() || args.iter().any(|a| a == "--reps" || a == "--tolerance"))
+    {
+        return err("--reps/--baseline/--tolerance require --profile");
+    }
+    if o.profile && o.jobs.is_some() {
+        return err("--profile runs serially; --jobs does not apply");
     }
     if apps.is_empty() || schemes.is_empty() || core_counts.is_empty() {
         return err("bench: the matrix has an empty axis");

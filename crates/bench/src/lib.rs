@@ -6,6 +6,8 @@
 
 pub mod cli;
 pub mod engine;
+pub mod probe;
+pub mod profile;
 
 pub use suv::prelude::*;
 pub use suv::trace::Json;

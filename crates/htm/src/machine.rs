@@ -78,6 +78,11 @@ pub struct HtmMachine {
     overflow: OverflowStats,
     /// Chip-wide lazy-commit token: free-at time.
     commit_token_free: Cycle,
+    /// Earliest `until` of any open Aborting/Committing isolation window
+    /// (`u64::MAX` when none): [`HtmMachine::settle`] is a no-op before
+    /// this instant, so the per-operation settle scan is skipped on the
+    /// vast majority of accesses.
+    settle_due: Cycle,
     rngs: Vec<StdRng>,
     /// Event/metrics sink; disabled by default (one predictable branch per
     /// emission point).
@@ -107,6 +112,7 @@ impl HtmMachine {
             tx_stats: vec![TxStats::default(); cfg.n_cores],
             overflow: OverflowStats::default(),
             commit_token_free: 0,
+            settle_due: u64::MAX,
             rngs: (0..cfg.n_cores).map(|c| StdRng::seed_from_u64(0x00BA_C0FF + c as u64)).collect(),
             tracer: Tracer::disabled(),
             shadow: (cfg.check >= CheckLevel::Full).then(|| ShadowOracle::new(cfg.n_cores)),
@@ -157,13 +163,30 @@ impl HtmMachine {
     /// operation; correctness relies on the engine dispatching operations
     /// in global time order.
     fn settle(&mut self, now: Cycle) {
+        if now < self.settle_due {
+            return; // no isolation window can have expired yet
+        }
+        let mut due = u64::MAX;
         for t in &mut self.txs {
             match t.status {
-                TxStatus::Aborting { until } if now >= until => t.clear_attempt(),
-                TxStatus::Committing { until } if now >= until => t.clear_dynamic(),
+                TxStatus::Aborting { until } => {
+                    if now >= until {
+                        t.clear_attempt();
+                    } else {
+                        due = due.min(until);
+                    }
+                }
+                TxStatus::Committing { until } => {
+                    if now >= until {
+                        t.clear_dynamic();
+                    } else {
+                        due = due.min(until);
+                    }
+                }
                 _ => {}
             }
         }
+        self.settle_due = due;
     }
 
     /// Find a defender that conflicts with `requester`'s access to `line`.
@@ -577,6 +600,7 @@ impl HtmMachine {
             self.txs[core].attempts += 1;
             self.txs[core].status = TxStatus::Aborting { until: now + window };
         }
+        self.settle_due = self.settle_due.min(now + window);
         self.txs[core].depth = 0;
         self.sys.clear_speculative(core);
         let site = self.txs[core].site;

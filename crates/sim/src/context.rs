@@ -5,7 +5,20 @@
 //! memory accesses go through the [`Tx`] guard and propagate [`Abort`] with
 //! `?`, which unwinds to the retry loop (the functional equivalent of the
 //! register checkpoint restore).
+//!
+//! # Quantum-scoped machine ownership
+//!
+//! Exactly one simulated thread runs at a time (the scheduler's baton), so
+//! the [`HtmMachine`] never actually has concurrent users — yet the old
+//! engine paid a mutex acquisition on *every* memory access. Instead, the
+//! machine now lives in a [`MachineSlot`] and is *owned* by the running
+//! thread for a whole scheduling quantum: taken out of the slot when the
+//! baton arrives ([`MachineHold::acquire`]), returned right before it is
+//! passed on ([`MachineHold::release`]). Accesses inside a quantum touch
+//! the machine through a plain `&mut` — one slot lock per baton pass, zero
+//! per access, all safe code.
 
+use crate::probe::ProbeHandle;
 use crate::sched::Scheduler;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -20,6 +33,45 @@ use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, TxSite};
 /// aborted it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Abort;
+
+/// The parking place of the machine between scheduling quanta. Exactly one
+/// of {the slot, the running thread's [`MachineHold`]} contains the
+/// machine at any instant.
+pub type MachineSlot = Arc<Mutex<Option<Box<HtmMachine>>>>;
+
+/// Wrap a machine in a slot, ready for [`ThreadCtx::new`].
+pub fn machine_slot(machine: Box<HtmMachine>) -> MachineSlot {
+    Arc::new(Mutex::new(Some(machine)))
+}
+
+/// A thread's claim on the shared machine: holds the box for the duration
+/// of a scheduling quantum.
+struct MachineHold {
+    slot: MachineSlot,
+    held: Option<Box<HtmMachine>>,
+}
+
+impl MachineHold {
+    /// Take the machine out of the slot. Callable only while holding the
+    /// baton (the previous holder is guaranteed to have released).
+    fn acquire(&mut self) {
+        debug_assert!(self.held.is_none(), "double acquire");
+        self.held = Some(self.slot.lock().take().expect("baton holder finds the machine parked"));
+    }
+
+    /// Park the machine back in the slot for the next baton holder.
+    fn release(&mut self) {
+        let m = self.held.take().expect("release without hold");
+        *self.slot.lock() = Some(m);
+    }
+
+    /// The held machine (the per-access hot path: an `Option` branch, no
+    /// lock).
+    #[inline]
+    fn m(&mut self) -> &mut HtmMachine {
+        self.held.as_mut().expect("machine access outside a quantum")
+    }
+}
 
 /// Context given to `Workload::setup`: functional memory pokes plus a heap
 /// allocator. Setup is not timed (it models pre-measurement initialization,
@@ -63,7 +115,7 @@ impl<'a> SetupCtx<'a> {
 
 /// Per-thread simulation context.
 pub struct ThreadCtx {
-    machine: Arc<Mutex<HtmMachine>>,
+    machine: MachineHold,
     sched: Arc<Scheduler>,
     tid: usize,
     now: Cycle,
@@ -77,16 +129,28 @@ pub struct ThreadCtx {
     pub rng: StdRng,
     /// Hard wall on simulated time to catch runaway configurations.
     max_cycles: Cycle,
-    /// Cached tracing flag so untraced runs never lock the machine just to
-    /// discover there is nothing to emit.
+    /// Cached tracing flag so untraced runs skip barrier-event emission.
     trace_on: bool,
+    /// Host profiling sink (no-op outside `bench --profile`).
+    probe: ProbeHandle,
+    /// Probe timestamp of the current quantum's start.
+    quantum_start_ns: u64,
+    /// Local fast-path elision tally (deposited into the scheduler's
+    /// shared counter once, at [`ThreadCtx::finish`] — an atomic RMW per
+    /// sync would tax every memory access).
+    elided: u64,
 }
 
 impl ThreadCtx {
-    /// Build the context for simulated thread `tid`.
-    pub fn new(machine: Arc<Mutex<HtmMachine>>, sched: Arc<Scheduler>, tid: usize) -> Self {
+    /// Build the context for simulated thread `tid` and claim the machine
+    /// for its first quantum. Must be called with the baton held (i.e.
+    /// after `Scheduler::wait_start` returns).
+    pub fn new(slot: MachineSlot, sched: Arc<Scheduler>, tid: usize, probe: ProbeHandle) -> Self {
+        let mut machine = MachineHold { slot, held: None };
+        machine.acquire();
+        let quantum_start_ns = probe.now_ns();
         let (retry_interval, trace_on) = {
-            let m = machine.lock();
+            let m = machine.m();
             (m.config().htm.retry_interval, m.tracer().on())
         };
         ThreadCtx {
@@ -101,6 +165,9 @@ impl ThreadCtx {
             rng: StdRng::seed_from_u64(0x57A3F + tid as u64 * 0x9E37),
             max_cycles: 50_000_000_000,
             trace_on,
+            probe,
+            quantum_start_ns,
+            elided: 0,
         }
     }
 
@@ -129,8 +196,44 @@ impl ThreadCtx {
         }
     }
 
-    fn sync(&self) {
-        self.sched.sync(self.tid, self.now);
+    /// Pass the baton to `next`: close this quantum (machine back in the
+    /// slot), wake `next`, park, and open a new quantum on wake.
+    fn yield_to(&mut self, next: usize) {
+        let end_ns = self.probe.now_ns();
+        self.probe.machine_held(end_ns.saturating_sub(self.quantum_start_ns));
+        self.machine.release();
+        self.sched.signal(next);
+        self.sched.wait_token(self.tid);
+        self.machine.acquire();
+        self.quantum_start_ns = self.probe.now_ns();
+        self.probe.sched_wait(self.quantum_start_ns.saturating_sub(end_ns));
+    }
+
+    /// Wait until this thread's clock is the global minimum. The common
+    /// case — still the minimum — is one relaxed atomic load.
+    #[inline]
+    fn sync(&mut self) {
+        if self.sched.fast_path(self.tid, self.now) {
+            self.elided += 1;
+            return;
+        }
+        if let Some(next) = self.sched.prepare_yield(self.tid, self.now) {
+            self.yield_to(next);
+        } else {
+            self.elided += 1;
+        }
+    }
+
+    /// Close the final quantum and hand the baton onward; called once by
+    /// the runner after the workload body returns.
+    pub fn finish(&mut self) {
+        let end_ns = self.probe.now_ns();
+        self.probe.machine_held(end_ns.saturating_sub(self.quantum_start_ns));
+        self.machine.release();
+        self.sched.credit_elided(self.elided);
+        if let Some(next) = self.sched.prepare_finish(self.tid) {
+            self.sched.signal(next);
+        }
     }
 
     /// Spend `cycles` of computation (one cycle per instruction on the
@@ -145,7 +248,7 @@ impl ThreadCtx {
         debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
         loop {
             self.sync();
-            let r = self.machine.lock().nontx_load(self.now, self.tid, addr);
+            let r = self.machine.m().nontx_load(self.now, self.tid, addr);
             match r {
                 Access::Done { value, latency } => {
                     self.spend(BreakdownKind::NoTrans, latency);
@@ -164,7 +267,7 @@ impl ThreadCtx {
         debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
         loop {
             self.sync();
-            let r = self.machine.lock().nontx_store(self.now, self.tid, addr, value);
+            let r = self.machine.m().nontx_store(self.now, self.tid, addr, value);
             match r {
                 Access::Done { latency, .. } => {
                     self.spend(BreakdownKind::NoTrans, latency);
@@ -181,12 +284,16 @@ impl ThreadCtx {
     /// Wait at the program barrier.
     pub fn barrier(&mut self) {
         assert!(!self.in_tx, "barrier inside a transaction");
-        let released = self.sched.barrier(self.tid, self.now);
+        let next = self.sched.prepare_barrier(self.tid, self.now);
+        if next != self.tid {
+            self.yield_to(next);
+        }
+        let released = self.sched.barrier_release_time(self.tid);
         let waited = released.saturating_sub(self.now);
         self.now = released;
         self.breakdown.add(BreakdownKind::Barrier, waited);
         if self.trace_on && waited > 0 {
-            self.machine.lock().trace_emit(
+            self.machine.m().trace_emit(
                 released,
                 self.tid,
                 TraceEvent::BarrierWait { cycles: waited },
@@ -204,7 +311,7 @@ impl ThreadCtx {
         assert!(!self.in_tx, "nested txn() calls: use Tx::nested instead");
         loop {
             self.sync();
-            let begin_lat = self.machine.lock().begin_tx(self.now, self.tid, site);
+            let begin_lat = self.machine.m().begin_tx(self.now, self.tid, site);
             self.in_tx = true;
             self.attempt_trans = 0;
             self.spend(BreakdownKind::Trans, begin_lat);
@@ -214,7 +321,7 @@ impl ThreadCtx {
             let committed = match result {
                 Ok(()) => {
                     self.sync();
-                    let out = self.machine.lock().commit_tx(self.now, self.tid);
+                    let out = self.machine.m().commit_tx(self.now, self.tid);
                     match out {
                         CommitOutcome::Committed { latency, committing } => {
                             self.in_tx = false;
@@ -244,16 +351,13 @@ impl ThreadCtx {
     /// Hardware abort + backoff; reclassifies the attempt's work.
     fn do_abort(&mut self) {
         self.sync();
-        let dur = {
-            let mut m = self.machine.lock();
-            m.abort_tx(self.now, self.tid)
-        };
+        let dur = self.machine.m().abort_tx(self.now, self.tid);
         self.in_tx = false;
         // The attempt's transactional work was wasted.
         self.breakdown.add(BreakdownKind::Wasted, self.attempt_trans);
         self.attempt_trans = 0;
         self.spend(BreakdownKind::Aborting, dur);
-        let backoff = self.machine.lock().backoff_cycles(self.now, self.tid);
+        let backoff = self.machine.m().backoff_cycles(self.now, self.tid);
         self.spend(BreakdownKind::Backoff, backoff);
     }
 }
@@ -285,7 +389,7 @@ impl Tx<'_> {
     pub fn load(&mut self, addr: Addr) -> Result<u64, Abort> {
         loop {
             self.ctx.sync();
-            let r = self.ctx.machine.lock().tx_load(self.ctx.now, self.ctx.tid, addr);
+            let r = self.ctx.machine.m().tx_load(self.ctx.now, self.ctx.tid, addr);
             match r {
                 Access::Done { value, latency } => {
                     self.ctx.spend(BreakdownKind::Trans, latency);
@@ -310,7 +414,7 @@ impl Tx<'_> {
     pub fn store(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
         loop {
             self.ctx.sync();
-            let r = self.ctx.machine.lock().tx_store(self.ctx.now, self.ctx.tid, addr, value);
+            let r = self.ctx.machine.m().tx_store(self.ctx.now, self.ctx.tid, addr, value);
             match r {
                 Access::Done { latency, .. } => {
                     self.ctx.spend(BreakdownKind::Trans, latency);
@@ -337,12 +441,12 @@ impl Tx<'_> {
         F: FnMut(&mut Tx<'_>) -> Result<(), Abort>,
     {
         self.ctx.sync();
-        let lat = self.ctx.machine.lock().begin_tx(self.ctx.now, self.ctx.tid, site);
+        let lat = self.ctx.machine.m().begin_tx(self.ctx.now, self.ctx.tid, site);
         self.ctx.spend(BreakdownKind::Trans, lat);
         let r = body(self);
         if r.is_ok() {
             self.ctx.sync();
-            let out = self.ctx.machine.lock().commit_tx(self.ctx.now, self.ctx.tid);
+            let out = self.ctx.machine.m().commit_tx(self.ctx.now, self.ctx.tid);
             match out {
                 CommitOutcome::Committed { latency, .. } => {
                     self.ctx.spend(BreakdownKind::Trans, latency);

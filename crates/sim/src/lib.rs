@@ -17,12 +17,16 @@
 
 pub mod context;
 pub mod pool;
+pub mod probe;
 pub mod runner;
 pub mod sched;
 pub mod scheme;
 
-pub use context::{Abort, SetupCtx, ThreadCtx, Tx};
+pub use context::{machine_slot, Abort, MachineSlot, SetupCtx, ThreadCtx, Tx};
 pub use pool::{default_workers, run_jobs};
-pub use runner::{run_workload, run_workload_traced, RunResult, TraceConfig, Workload};
+pub use probe::{null_probe, HostProbe, NullProbe, ProbeHandle};
+pub use runner::{
+    run_workload, run_workload_profiled, run_workload_traced, RunResult, TraceConfig, Workload,
+};
 pub use sched::Scheduler;
 pub use scheme::build_vm;

@@ -1,0 +1,54 @@
+//! Host-side profiling hooks.
+//!
+//! The simulation crates are bit-deterministic and may not read the wall
+//! clock (the `cargo xtask lint` entropy rule), but the bench harness
+//! needs to know where *host* time goes: parked in the scheduler, running
+//! the machine, or tracing. [`HostProbe`] inverts the dependency — the
+//! engine reports durations through the trait, and the only
+//! implementation that actually reads a clock lives in `suv-bench`
+//! (`WallProbe`). The [`NullProbe`] used everywhere else returns 0 for
+//! every timestamp, so default runs pay nothing but a virtual call at
+//! each baton pass (never on the per-access fast path).
+//!
+//! Probing is observational only: no simulated quantity depends on a
+//! probe reading, so profiled runs remain bit-identical to bare ones.
+
+use std::sync::Arc;
+
+/// Sink for host-time measurements taken by the execution engine.
+///
+/// Implementations must be thread-safe: every simulated core's OS thread
+/// reports through the same probe.
+pub trait HostProbe: Send + Sync {
+    /// Opaque monotonic timestamp in nanoseconds. The engine only ever
+    /// subtracts pairs of these; the epoch is the implementation's
+    /// choice. The [`NullProbe`] returns 0.
+    fn now_ns(&self) -> u64;
+
+    /// `ns` of host time a worker spent parked waiting for the baton.
+    fn sched_wait(&self, ns: u64);
+
+    /// `ns` of host time a worker spent holding the machine (one
+    /// scheduling quantum of actual simulation work).
+    fn machine_held(&self, ns: u64);
+}
+
+/// The do-nothing probe: timestamps are always 0, durations are dropped.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProbe;
+
+impl HostProbe for NullProbe {
+    fn now_ns(&self) -> u64 {
+        0
+    }
+    fn sched_wait(&self, _ns: u64) {}
+    fn machine_held(&self, _ns: u64) {}
+}
+
+/// The probe handle threaded through the engine.
+pub type ProbeHandle = Arc<dyn HostProbe>;
+
+/// A fresh [`NullProbe`] handle.
+pub fn null_probe() -> ProbeHandle {
+    Arc::new(NullProbe)
+}

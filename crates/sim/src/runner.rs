@@ -1,6 +1,7 @@
 //! Workload execution harness.
 
-use crate::context::{SetupCtx, ThreadCtx};
+use crate::context::{machine_slot, SetupCtx, ThreadCtx};
+use crate::probe::{null_probe, ProbeHandle};
 use crate::sched::Scheduler;
 use crate::scheme::build_vm;
 use parking_lot::Mutex;
@@ -65,8 +66,18 @@ impl RunResult {
     }
 
     /// Speedup of this run relative to `other` (>1 = this one is faster).
+    ///
+    /// Zero-cycle runs (a degenerate workload whose timed region is empty)
+    /// follow the convention: both zero → 1.0 (equally fast), only `self`
+    /// zero → `f64::INFINITY`, only `other` zero → 0.0. This keeps the
+    /// result free of NaN so downstream geomeans stay well-defined.
     pub fn speedup_over(&self, other: &RunResult) -> f64 {
-        other.stats.cycles as f64 / self.stats.cycles as f64
+        match (self.stats.cycles, other.stats.cycles) {
+            (0, 0) => 1.0,
+            (0, _) => f64::INFINITY,
+            (_, 0) => 0.0,
+            (mine, theirs) => theirs as f64 / mine as f64,
+        }
     }
 }
 
@@ -87,6 +98,34 @@ pub fn run_workload_traced(
     workload: &mut dyn Workload,
     trace: Option<TraceConfig>,
 ) -> RunResult {
+    run_workload_profiled(cfg, scheme, workload, trace, None)
+}
+
+/// Scheduler-poisoning drop guard: if a worker unwinds (workload assert,
+/// machine invariant, ...), parked siblings would otherwise wait forever
+/// for a baton that never comes and `thread::scope` would deadlock on
+/// join. Poisoning wakes them all into a secondary panic instead, letting
+/// the original panic surface.
+struct PoisonOnPanic<'a>(&'a Scheduler);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// [`run_workload_traced`] with an optional host-profiling probe (see
+/// [`crate::probe::HostProbe`]). Probing is observational: results are
+/// bit-identical with or without it.
+pub fn run_workload_profiled(
+    cfg: &MachineConfig,
+    scheme: SchemeKind,
+    workload: &mut dyn Workload,
+    trace: Option<TraceConfig>,
+    probe: Option<ProbeHandle>,
+) -> RunResult {
     let vm = build_vm(scheme, cfg);
     let mut machine = HtmMachine::new(cfg, vm);
     {
@@ -96,7 +135,8 @@ pub fn run_workload_traced(
     if let Some(tc) = trace {
         machine.set_tracer(Tracer::ring(tc.ring_capacity));
     }
-    let machine = Arc::new(Mutex::new(machine));
+    let probe = probe.unwrap_or_else(null_probe);
+    let slot = machine_slot(Box::new(machine));
     let sched = Arc::new(Scheduler::new(cfg.n_cores));
     let contexts: Vec<Mutex<Option<ThreadCtx>>> =
         (0..cfg.n_cores).map(|_| Mutex::new(None)).collect();
@@ -105,16 +145,18 @@ pub fn run_workload_traced(
     std::thread::scope(|s| {
         #[allow(clippy::needless_range_loop)] // tid is the core id, not just an index
         for tid in 0..cfg.n_cores {
-            let machine = Arc::clone(&machine);
+            let slot = Arc::clone(&slot);
             let sched = Arc::clone(&sched);
-            let slot = &contexts[tid];
+            let probe = Arc::clone(&probe);
+            let deposit = &contexts[tid];
             let w = workload_ref;
             s.spawn(move || {
+                let _guard = PoisonOnPanic(&sched);
                 sched.wait_start(tid);
-                let mut ctx = ThreadCtx::new(machine, Arc::clone(&sched), tid);
+                let mut ctx = ThreadCtx::new(slot, Arc::clone(&sched), tid, probe);
                 w.run(tid, &mut ctx);
-                sched.finish(tid);
-                *slot.lock() = Some(ctx);
+                ctx.finish();
+                *deposit.lock() = Some(ctx);
             });
         }
         sched.start();
@@ -123,22 +165,22 @@ pub fn run_workload_traced(
     let mut per_thread = Vec::with_capacity(cfg.n_cores);
     let mut per_thread_cycles = Vec::with_capacity(cfg.n_cores);
     let mut end = 0;
-    for slot in &contexts {
-        let ctx = slot.lock().take().expect("worker must deposit its context");
+    for deposit in &contexts {
+        let ctx = deposit.lock().take().expect("worker must deposit its context");
         end = end.max(ctx.now());
         per_thread_cycles.push(ctx.now());
         per_thread.push(ctx.breakdown());
     }
 
-    let mut machine =
-        Arc::try_unwrap(machine).unwrap_or_else(|_| panic!("machine still shared")).into_inner();
+    let mut machine = *slot.lock().take().expect("all quanta closed: machine parked in the slot");
     // Harvest the tracer before verify so untimed verification accesses
     // never pollute the event stream.
     let mut tracer = machine.take_tracer();
     let (trace_hash, trace_out) = if tracer.on() {
         let m = tracer.metrics_mut();
-        m.inc("sched_handoffs", sched.handoffs());
-        m.inc("sched_barrier_arrivals", sched.barrier_arrivals());
+        m.inc("sched.handoffs_taken", sched.handoffs_taken());
+        m.inc("sched.handoffs_elided", sched.handoffs_elided());
+        m.inc("sched.barrier_arrivals", sched.barrier_arrivals());
         let out = tracer.finish();
         (out.hash, Some(out))
     } else {

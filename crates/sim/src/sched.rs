@@ -2,20 +2,77 @@
 //!
 //! One OS thread per simulated core, but only one runs at any instant: the
 //! one whose local clock is smallest (ties broken by core id). Every
-//! shared-state operation is preceded by [`Scheduler::sync`], which parks
-//! the caller until it is the global minimum — so machine state mutations
-//! happen in strict global-time order and every run is bit-reproducible.
+//! shared-state operation is preceded by a sync against the scheduler,
+//! which parks the caller until it is the global minimum — so machine
+//! state mutations happen in strict global-time order and every run is
+//! bit-reproducible.
 //!
-//! The handoff is a baton: a parked thread owns a rendezvous channel; the
-//! thread giving up the CPU pops the next (time, id) pair from the run
-//! queue and signals that thread's channel.
+//! # The zero-handoff fast path
+//!
+//! The common case on a lockstep run is "I am still the global-minimum
+//! thread" — the sync must decide that and return, thousands of times per
+//! baton pass. The scheduler publishes an atomic **horizon**: the packed
+//! `(wake time, id)` of the earliest *other* runnable thread, refreshed
+//! under the [`Inner`] lock at every point the run queue changes (start,
+//! yield, barrier, finish). Because exactly one thread holds the baton at
+//! a time, the run queue only ever changes in the hands of the thread
+//! reading the horizon, so a single relaxed load gives the *exact* answer
+//! to "am I still the minimum?" — the same `(t, tid) <= (tmin, idmin)`
+//! predicate the slow path evaluates under the lock, not a conservative
+//! approximation. The schedule is therefore bit-identical to the
+//! original always-lock engine (asserted by golden trace hashes in
+//! `tests/integration_engine.rs`).
+//!
+//! # The baton
+//!
+//! Unavoidable handoffs cost one `thread::unpark` + one `thread::park`:
+//! each thread owns a [`Gate`] (a token flag plus its parked OS-thread
+//! handle), and the thread giving up the CPU pops the next `(time, id)`
+//! pair from the run queue and opens that thread's gate. The two-phase
+//! API ([`Scheduler::prepare_yield`] → [`Scheduler::signal`] /
+//! [`Scheduler::wait_token`]) lets the caller release quantum-scoped
+//! resources (the HTM machine) between deciding to yield and actually
+//! parking; [`Scheduler::sync`] composes the phases for callers with no
+//! such resources.
+//!
+//! A worker that panics poisons the scheduler on unwind
+//! ([`Scheduler::poison`]), waking every parked sibling so the enclosing
+//! thread scope can join and propagate the original panic instead of
+//! deadlocking.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use suv_types::Cycle;
+
+/// Bits of the packed horizon word reserved for the thread id. 64 cores
+/// (`MAX_CORES`) need 6; 8 leaves headroom and still caps clocks at
+/// 2^56 cycles, far above the simulator's runaway wall.
+const ID_BITS: u32 = 8;
+
+/// Pack a `(time, id)` pair so that `u64` order equals lexicographic
+/// `(time, id)` order.
+#[inline]
+fn pack(t: Cycle, id: usize) -> u64 {
+    debug_assert!(t < 1 << (64 - ID_BITS), "clock overflows the packed horizon");
+    debug_assert!(id < 1 << ID_BITS, "core id overflows the packed horizon");
+    (t << ID_BITS) | id as u64
+}
+
+/// Horizon value meaning "no other thread is runnable": every packed
+/// `(t, tid)` compares `<=` to it, so the fast path always succeeds.
+const HORIZON_OPEN: u64 = u64::MAX;
+
+/// Per-thread wake gate: a token set by the signaller plus the parked
+/// thread's handle. `unpark` before `park` is safe (the token is checked
+/// first and a pending unpark makes the next park return immediately),
+/// so no rendezvous is needed and a wake costs no allocation or syscall
+/// beyond the futex.
+struct Gate {
+    token: AtomicBool,
+    thread: Mutex<Option<std::thread::Thread>>,
+}
 
 struct Inner {
     /// Runnable threads, keyed by (wake time, id).
@@ -39,17 +96,33 @@ impl Inner {
             self.queue.push(Reverse((tmax, w)));
         }
     }
+
+    /// The packed horizon for the current queue head.
+    fn horizon(&self) -> u64 {
+        match self.queue.peek() {
+            Some(Reverse((t, id))) => pack(*t, *id),
+            None => HORIZON_OPEN,
+        }
+    }
 }
 
 /// The scheduler.
 pub struct Scheduler {
     inner: Mutex<Inner>,
-    gates: Vec<(Sender<()>, Receiver<()>)>,
-    /// Baton passes between distinct threads (a scheduler-health metric the
-    /// traced runner folds into the metrics registry).
-    handoffs: AtomicU64,
+    gates: Vec<Gate>,
+    /// Packed `(time, id)` of the earliest *other* runnable thread, or
+    /// [`HORIZON_OPEN`]. Only the baton holder reads it, and the queue
+    /// only changes in the baton holder's hands, so a relaxed load is
+    /// always exact (the baton pass itself is the release/acquire edge).
+    horizon: AtomicU64,
+    /// Baton passes between distinct threads.
+    handoffs_taken: AtomicU64,
+    /// Syncs that kept the baton (fast path + slow-path re-checks).
+    handoffs_elided: AtomicU64,
     /// Barrier arrivals.
     barrier_arrivals: AtomicU64,
+    /// Set when a worker panicked; parked threads wake and propagate.
+    poisoned: AtomicBool,
 }
 
 impl Scheduler {
@@ -63,15 +136,25 @@ impl Scheduler {
                 finished: 0,
                 n,
             }),
-            gates: (0..n).map(|_| bounded(1)).collect(),
-            handoffs: AtomicU64::new(0),
+            gates: (0..n)
+                .map(|_| Gate { token: AtomicBool::new(false), thread: Mutex::new(None) })
+                .collect(),
+            horizon: AtomicU64::new(HORIZON_OPEN),
+            handoffs_taken: AtomicU64::new(0),
+            handoffs_elided: AtomicU64::new(0),
             barrier_arrivals: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
     /// Baton passes so far (deterministic, since the schedule is).
-    pub fn handoffs(&self) -> u64 {
-        self.handoffs.load(Ordering::Relaxed)
+    pub fn handoffs_taken(&self) -> u64 {
+        self.handoffs_taken.load(Ordering::Relaxed)
+    }
+
+    /// Syncs resolved without a baton pass (deterministic too).
+    pub fn handoffs_elided(&self) -> u64 {
+        self.handoffs_elided.load(Ordering::Relaxed)
     }
 
     /// Barrier arrivals so far.
@@ -84,10 +167,11 @@ impl Scheduler {
         self.gates.len()
     }
 
-    /// Called by each worker as its very first action: park until the
-    /// scheduler hands over the baton.
+    /// Called by each worker as its very first action: register this OS
+    /// thread's handle and park until the scheduler hands over the baton.
     pub fn wait_start(&self, tid: usize) {
-        self.gates[tid].1.recv().expect("scheduler channel closed");
+        *self.gates[tid].thread.lock() = Some(std::thread::current());
+        self.wait_token(tid);
     }
 
     /// Seed the run queue with all threads at time 0 and release the first.
@@ -97,73 +181,171 @@ impl Scheduler {
             for tid in 0..g.n {
                 g.queue.push(Reverse((0, tid)));
             }
-            g.queue.pop().expect("non-empty").0 .1
+            let first = g.queue.pop().expect("non-empty").0 .1;
+            self.horizon.store(g.horizon(), Ordering::Relaxed);
+            first
         };
-        self.gates[first].0.send(()).expect("worker gone");
+        self.signal(first);
     }
 
-    /// Hand the baton to `next` and park until signalled back. No-op when
-    /// we popped ourselves.
-    fn handoff(&self, tid: usize, next: usize) {
-        if next == tid {
-            return;
-        }
-        self.handoffs.fetch_add(1, Ordering::Relaxed);
-        self.gates[next].0.send(()).expect("worker gone");
-        self.gates[tid].1.recv().expect("scheduler channel closed");
+    /// Lock-free check: is `(t, tid)` still at or before the earliest
+    /// other runnable thread? Exact (not conservative) for the baton
+    /// holder — see the module docs.
+    ///
+    /// Deliberately does *not* count the elision: an atomic RMW here
+    /// would tax every single memory access. Callers on the hot path
+    /// (`ThreadCtx`) keep a plain local tally and deposit it once via
+    /// [`Scheduler::credit_elided`]; the composed [`Scheduler::sync`]
+    /// counts inline for the machine-less callers.
+    #[inline]
+    pub fn fast_path(&self, tid: usize, t: Cycle) -> bool {
+        pack(t, tid) <= self.horizon.load(Ordering::Relaxed)
     }
 
-    /// Block until this thread's clock `t` is the global minimum. Returns
-    /// immediately when it already is (the common single-hot-thread case).
-    pub fn sync(&self, tid: usize, t: Cycle) {
-        let next = {
-            let mut g = self.inner.lock();
-            match g.queue.peek() {
-                None => return, // nobody else runnable: keep going
-                Some(Reverse((tmin, id))) => {
-                    if (t, tid) <= (*tmin, *id) {
-                        return; // still the minimum
-                    }
+    /// Fold a batch of locally-counted fast-path elisions into the
+    /// shared counter (called once per thread, not per sync).
+    pub fn credit_elided(&self, n: u64) {
+        self.handoffs_elided.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Slow path of a sync: decide under the lock whether to yield.
+    /// Returns the thread to hand the baton to, or `None` when the caller
+    /// is still the global minimum. On `Some(next)` the caller must
+    /// release its quantum-scoped resources, then [`Scheduler::signal`]
+    /// `next` and [`Scheduler::wait_token`] on its own gate.
+    pub fn prepare_yield(&self, tid: usize, t: Cycle) -> Option<usize> {
+        let mut g = self.inner.lock();
+        match g.queue.peek() {
+            None => return None, // nobody else runnable: keep going
+            Some(Reverse((tmin, id))) => {
+                if (t, tid) <= (*tmin, *id) {
+                    return None; // still the minimum
                 }
             }
-            g.queue.push(Reverse((t, tid)));
-            g.queue.pop().expect("non-empty").0 .1
-        };
-        self.handoff(tid, next);
+        }
+        g.queue.push(Reverse((t, tid)));
+        let next = g.queue.pop().expect("non-empty").0 .1;
+        debug_assert_ne!(next, tid, "yield decision contradicts the queue head");
+        self.horizon.store(g.horizon(), Ordering::Relaxed);
+        self.handoffs_taken.fetch_add(1, Ordering::Relaxed);
+        Some(next)
     }
 
-    /// Barrier: park until every unfinished thread arrives; everyone
-    /// resumes at the latest arrival time, which is returned.
-    pub fn barrier(&self, tid: usize, t: Cycle) -> Cycle {
+    /// Open `next`'s gate: set the token, then unpark the thread if it
+    /// has registered (if it has not, it will see the token before its
+    /// first park).
+    pub fn signal(&self, next: usize) {
+        let gate = &self.gates[next];
+        gate.token.store(true, Ordering::Release);
+        if let Some(t) = gate.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Park until this thread's gate token is set (or the scheduler is
+    /// poisoned by a panicking sibling, which re-panics here so the
+    /// enclosing thread scope can join).
+    pub fn wait_token(&self, tid: usize) {
+        let gate = &self.gates[tid];
+        while !gate.token.swap(false, Ordering::Acquire) {
+            if self.poisoned.load(Ordering::Acquire) {
+                panic!("scheduler poisoned: a sibling worker panicked");
+            }
+            std::thread::park();
+        }
+    }
+
+    /// Mark the scheduler poisoned and wake every parked thread; called
+    /// from a panicking worker's unwind path so siblings do not deadlock.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for gate in &self.gates {
+            if let Some(t) = gate.thread.lock().as_ref() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Block until this thread's clock `t` is the global minimum. The
+    /// composed form of the two-phase protocol, for callers with no
+    /// quantum-scoped resources to release across the park.
+    pub fn sync(&self, tid: usize, t: Cycle) {
+        if self.fast_path(tid, t) {
+            self.handoffs_elided.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(next) = self.prepare_yield(tid, t) {
+            self.signal(next);
+            self.wait_token(tid);
+        } else {
+            self.handoffs_elided.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Barrier arrival: move `tid` to the waiter list (releasing everyone
+    /// at the latest arrival time if it is the last) and pick the thread
+    /// to run next — possibly `tid` itself, in which case the caller
+    /// keeps the baton and must *not* park. Otherwise the caller releases
+    /// its resources, signals, parks, and reads
+    /// [`Scheduler::barrier_release_time`] after waking.
+    pub fn prepare_barrier(&self, tid: usize, t: Cycle) -> usize {
         self.barrier_arrivals.fetch_add(1, Ordering::Relaxed);
-        let next = {
-            let mut g = self.inner.lock();
-            g.barrier_waiters.push((tid, t));
-            if g.barrier_waiters.len() + g.finished == g.n {
-                g.release_barrier();
-            }
-            match g.queue.pop() {
-                Some(Reverse((_, next))) => next,
-                None => unreachable!("barrier with no runnable thread and waiters pending"),
-            }
+        let mut g = self.inner.lock();
+        g.barrier_waiters.push((tid, t));
+        if g.barrier_waiters.len() + g.finished == g.n {
+            g.release_barrier();
+        }
+        let next = match g.queue.pop() {
+            Some(Reverse((_, next))) => next,
+            None => unreachable!("barrier with no runnable thread and waiters pending"),
         };
-        self.handoff(tid, next);
+        self.horizon.store(g.horizon(), Ordering::Relaxed);
+        if next != tid {
+            self.handoffs_taken.fetch_add(1, Ordering::Relaxed);
+        }
+        next
+    }
+
+    /// The time the last barrier released `tid` at.
+    pub fn barrier_release_time(&self, tid: usize) -> Cycle {
         self.inner.lock().release_time[tid]
     }
 
-    /// Mark this thread finished and hand the baton onward.
-    pub fn finish(&self, tid: usize) {
-        let next = {
-            let mut g = self.inner.lock();
-            g.finished += 1;
-            if !g.barrier_waiters.is_empty() && g.barrier_waiters.len() + g.finished == g.n {
-                g.release_barrier();
-            }
-            g.queue.pop().map(|Reverse((_, id))| id)
-        };
+    /// Barrier: park until every unfinished thread arrives; everyone
+    /// resumes at the latest arrival time, which is returned. Composed
+    /// form of [`Scheduler::prepare_barrier`].
+    pub fn barrier(&self, tid: usize, t: Cycle) -> Cycle {
+        let next = self.prepare_barrier(tid, t);
+        if next != tid {
+            self.signal(next);
+            self.wait_token(tid);
+        }
+        self.barrier_release_time(tid)
+    }
+
+    /// Mark this thread finished and pick who runs next, if anyone. The
+    /// caller releases its resources and then signals the returned
+    /// thread; it never parks again.
+    pub fn prepare_finish(&self, tid: usize) -> Option<usize> {
+        let mut g = self.inner.lock();
+        g.finished += 1;
+        if !g.barrier_waiters.is_empty() && g.barrier_waiters.len() + g.finished == g.n {
+            g.release_barrier();
+        }
+        let next = g.queue.pop().map(|Reverse((_, id))| id);
+        self.horizon.store(g.horizon(), Ordering::Relaxed);
         if let Some(next) = next {
             debug_assert_ne!(next, tid, "finished thread re-dispatched");
-            self.gates[next].0.send(()).expect("worker gone");
+            self.handoffs_taken.fetch_add(1, Ordering::Relaxed);
+        }
+        next
+    }
+
+    /// Mark this thread finished and hand the baton onward. Composed form
+    /// of [`Scheduler::prepare_finish`].
+    pub fn finish(&self, tid: usize) {
+        if let Some(next) = self.prepare_finish(tid) {
+            self.signal(next);
         }
     }
 }
@@ -203,6 +385,8 @@ mod tests {
         for w in log.windows(2) {
             assert!(w[0].0 <= w[1].0, "events out of order: {:?} then {:?}", w[0], w[1]);
         }
+        assert!(sched.handoffs_taken() > 0, "interleaved clocks must pass the baton");
+        assert!(sched.handoffs_elided() > 0, "equal-clock stretches must elide");
     }
 
     #[test]
@@ -228,9 +412,13 @@ mod tests {
                 }
                 sched.start();
             });
-            Arc::try_unwrap(log).unwrap().into_inner()
+            let counts = (sched.handoffs_taken(), sched.handoffs_elided());
+            (Arc::try_unwrap(log).unwrap().into_inner(), counts)
         };
-        assert_eq!(run(), run(), "scheduler must be deterministic");
+        let (log_a, counts_a) = run();
+        let (log_b, counts_b) = run();
+        assert_eq!(log_a, log_b, "scheduler must be deterministic");
+        assert_eq!(counts_a, counts_b, "handoff counts must be deterministic");
     }
 
     #[test]
@@ -256,6 +444,7 @@ mod tests {
         let releases = releases.lock();
         assert_eq!(releases.len(), n);
         assert!(releases.iter().all(|r| *r == 400), "all release at max arrival: {releases:?}");
+        assert_eq!(sched.barrier_arrivals(), n as u64);
     }
 
     #[test]
@@ -310,5 +499,66 @@ mod tests {
             sched.start();
         });
         assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    /// A lone thread (or one far behind the pack) must never touch the
+    /// inner lock: every sync resolves on the horizon fast path.
+    #[test]
+    fn single_thread_syncs_are_all_elided() {
+        let sched = Arc::new(Scheduler::new(1));
+        std::thread::scope(|s| {
+            let sc = Arc::clone(&sched);
+            s.spawn(move || {
+                sc.wait_start(0);
+                for t in 1..=1000u64 {
+                    assert!(sc.fast_path(0, t), "t={t}: lone thread must stay on the fast path");
+                    sc.sync(0, t); // the composed form counts the elision
+                }
+                sc.finish(0);
+            });
+            sched.start();
+        });
+        assert_eq!(sched.handoffs_taken(), 0);
+        assert_eq!(sched.handoffs_elided(), 1000);
+    }
+
+    /// The packed horizon must order exactly like (time, id) tuples,
+    /// including the id tie-break.
+    #[test]
+    fn packed_horizon_orders_like_tuples() {
+        let pts = [(0u64, 0usize), (0, 1), (1, 0), (1, 63), (2, 0), (50_000_000_000, 63)];
+        for &a in &pts {
+            for &b in &pts {
+                assert_eq!(pack(a.0, a.1) <= pack(b.0, b.1), a <= b, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// A panicking worker must wake parked siblings instead of
+    /// deadlocking the scope join.
+    #[test]
+    fn poison_wakes_parked_threads() {
+        let n = 3;
+        let sched = Arc::new(Scheduler::new(n));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                for tid in 0..n {
+                    let sched = Arc::clone(&sched);
+                    s.spawn(move || {
+                        sched.wait_start(tid);
+                        // Thread 0 runs first (lowest id at t=0) and dies
+                        // while the others are parked.
+                        if tid == 0 {
+                            sched.poison();
+                            panic!("seeded worker failure");
+                        }
+                        sched.sync(tid, 1 + tid as u64);
+                        sched.finish(tid);
+                    });
+                }
+                sched.start();
+            });
+        }));
+        assert!(result.is_err(), "the seeded panic must propagate through the scope");
     }
 }

@@ -162,6 +162,36 @@ pub enum TraceEvent {
     },
 }
 
+/// Number of distinct kind ids, including the unused id 0 — sized so that
+/// `kind_id()` always indexes a `[_; KIND_COUNT]` table.
+pub const KIND_COUNT: usize = 21;
+
+/// Kind name by kind id (index 0 is unused padding). Kept in sync with
+/// [`TraceEvent::kind_name`] by the `kind_tables_agree` test.
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "",
+    "tx_begin",
+    "tx_read",
+    "tx_write",
+    "nack",
+    "stall",
+    "tx_abort",
+    "tx_commit",
+    "backoff",
+    "commit_arbitration",
+    "undo_walk",
+    "gang_invalidate",
+    "write_buffer_drain",
+    "redirect_lookup",
+    "pool_alloc",
+    "redirect_back",
+    "table_swap_out",
+    "l1_miss",
+    "l2_miss",
+    "spec_eviction",
+    "barrier_wait",
+];
+
 impl TraceEvent {
     /// Stable kind id (hashing; never reorder existing entries).
     pub fn kind_id(&self) -> u64 {
@@ -307,6 +337,37 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), events.len(), "duplicate kind names");
+    }
+
+    #[test]
+    fn kind_tables_agree() {
+        let events = [
+            TraceEvent::TxBegin { site: 0, lazy: false },
+            TraceEvent::TxRead { line: 0 },
+            TraceEvent::TxWrite { line: 0 },
+            TraceEvent::Nack { requester: 0, must_abort: false },
+            TraceEvent::Stall { line: 0, cycles: 0 },
+            TraceEvent::TxAbort { window: 0 },
+            TraceEvent::TxCommit { window: 0, committing: 0 },
+            TraceEvent::Backoff { cycles: 0 },
+            TraceEvent::CommitArbitration { wait: 0 },
+            TraceEvent::UndoWalk { entries: 0 },
+            TraceEvent::GangInvalidate { lines: 0 },
+            TraceEvent::WriteBufferDrain { lines: 0 },
+            TraceEvent::RedirectLookup { level: RedirectLevel::L1 },
+            TraceEvent::PoolAlloc { fresh_page: false },
+            TraceEvent::RedirectBack,
+            TraceEvent::TableSwapOut { line: 0 },
+            TraceEvent::L1Miss { line: 0 },
+            TraceEvent::L2Miss { line: 0 },
+            TraceEvent::SpecEviction { line: 0 },
+            TraceEvent::BarrierWait { cycles: 0 },
+        ];
+        assert_eq!(events.len() + 1, KIND_COUNT);
+        for e in events {
+            assert_eq!(KIND_NAMES[e.kind_id() as usize], e.kind_name());
+            assert!((e.kind_id() as usize) < KIND_COUNT);
+        }
     }
 
     #[test]

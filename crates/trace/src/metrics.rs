@@ -71,6 +71,22 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's samples into this one (bucket-wise sum;
+    /// equivalent to having observed the other's samples here).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Any samples recorded?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -116,6 +132,17 @@ impl MetricsRegistry {
                 let mut h = Histogram::default();
                 h.observe(v);
                 self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Merge a pre-accumulated histogram into histogram `name` (used by
+    /// hot paths that tally into flat arrays and fold once at the end).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(mine) => mine.merge(h),
+            None => {
+                self.histograms.insert(name.to_string(), h.clone());
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The [`Tracer`] facade the engine embeds.
 
-use crate::event::{TraceEvent, TraceRecord};
-use crate::metrics::MetricsRegistry;
+use crate::event::{TraceEvent, TraceRecord, KIND_COUNT, KIND_NAMES};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::sink::{NullSink, RingRecorder, TraceSink};
 use suv_types::{CoreId, Cycle};
 
@@ -34,6 +34,13 @@ pub struct Tracer {
     events: u64,
     sink: Box<dyn TraceSink>,
     metrics: MetricsRegistry,
+    /// Flat per-kind event tallies, indexed by `kind_id`. The hot path
+    /// bumps these instead of doing a by-name registry lookup per event;
+    /// [`Tracer::fold_kind_tallies`] merges them into `metrics` at
+    /// harvest time.
+    kind_counts: [u64; KIND_COUNT],
+    /// Flat per-kind magnitude histograms, same idea.
+    kind_hists: Box<[Histogram; KIND_COUNT]>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -61,12 +68,22 @@ impl Tracer {
             events: 0,
             sink: Box::new(NullSink),
             metrics: MetricsRegistry::new(),
+            kind_counts: [0; KIND_COUNT],
+            kind_hists: Box::new(std::array::from_fn(|_| Histogram::default())),
         }
     }
 
     /// Enabled tracer feeding `sink`.
     pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
-        Tracer { enabled: true, hash: FNV_OFFSET, events: 0, sink, metrics: MetricsRegistry::new() }
+        Tracer {
+            enabled: true,
+            hash: FNV_OFFSET,
+            events: 0,
+            sink,
+            metrics: MetricsRegistry::new(),
+            kind_counts: [0; KIND_COUNT],
+            kind_hists: Box::new(std::array::from_fn(|_| Histogram::default())),
+        }
     }
 
     /// Enabled tracer over a bounded ring of `capacity` events.
@@ -94,8 +111,9 @@ impl Tracer {
     #[inline(never)]
     fn emit_enabled(&mut self, t: Cycle, core: CoreId, ev: TraceEvent) {
         let (p0, p1) = ev.payload();
+        let kind = ev.kind_id();
         let mut h = self.hash;
-        for word in [t, core as u64, ev.kind_id(), p0, p1] {
+        for word in [t, core as u64, kind, p0, p1] {
             for byte in word.to_le_bytes() {
                 h ^= byte as u64;
                 h = h.wrapping_mul(FNV_PRIME);
@@ -103,11 +121,31 @@ impl Tracer {
         }
         self.hash = h;
         self.events += 1;
-        self.metrics.inc(ev.kind_name(), 1);
+        // Flat per-kind tallies: no by-name registry lookup per event.
+        self.kind_counts[kind as usize] += 1;
         if let Some(m) = ev.magnitude() {
-            self.metrics.observe(ev.kind_name(), m);
+            self.kind_hists[kind as usize].observe(m);
         }
         self.sink.record(&TraceRecord { t, core, ev });
+    }
+
+    /// Merge the flat per-kind tallies into the named registry. Idempotent
+    /// (tallies are drained); called at every metrics access point so the
+    /// registry is always complete when observed.
+    fn fold_kind_tallies(&mut self) {
+        let metrics = &mut self.metrics;
+        let tallies = self.kind_counts.iter_mut().zip(self.kind_hists.iter_mut());
+        // Index 0 is the reserved non-event kind; its tallies stay zero.
+        for (name, (count, hist)) in KIND_NAMES.iter().zip(tallies).skip(1) {
+            let n = std::mem::take(count);
+            if n > 0 {
+                metrics.inc(name, n);
+            }
+            if !hist.is_empty() {
+                let h = std::mem::take(hist);
+                metrics.merge_histogram(name, &h);
+            }
+        }
     }
 
     /// The streaming hash so far (0 when disabled).
@@ -124,18 +162,21 @@ impl Tracer {
         self.events
     }
 
-    /// The accumulated metrics.
-    pub fn metrics(&self) -> &MetricsRegistry {
+    /// The accumulated metrics (folds pending hot-path tallies first).
+    pub fn metrics(&mut self) -> &MetricsRegistry {
+        self.fold_kind_tallies();
         &self.metrics
     }
 
     /// Mutable metrics access (the runner folds scheduler counters in).
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        self.fold_kind_tallies();
         &mut self.metrics
     }
 
     /// Tear down into the final output.
     pub fn finish(mut self) -> TraceOutput {
+        self.fold_kind_tallies();
         TraceOutput {
             hash: if self.enabled { self.hash } else { 0 },
             events: self.events,

@@ -1,0 +1,156 @@
+//! Schedule-equivalence tests for the execution engine.
+//!
+//! The zero-handoff engine (horizon fast path, quantum-scoped machine
+//! ownership, park/unpark baton) must produce *bit-identical* schedules to
+//! the original per-access-lock engine: the fast path only elides work
+//! whose outcome is already decided, so trace hashes, cycle counts and
+//! abort counts may not move by a single event. The golden tuples below
+//! were captured from the pre-change engine (PR 3, commit `bf5438d`) and
+//! are asserted against every future engine.
+//!
+//! The probe workload is a randomized mix of transactional and plain
+//! reads/writes over a small shared array, driven entirely by seeded
+//! per-thread RNGs — deterministic by construction, contended enough to
+//! exercise NACK stalls, aborts, backoff and barriers on every scheme.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suv::prelude::*;
+use suv::sim::{SetupCtx, ThreadCtx};
+use suv::types::Addr;
+
+/// Randomized mixed read/write workload over `slots` shared words.
+struct MixedWorkload {
+    seed: u64,
+    slots: u64,
+    iters: u64,
+    base: Addr,
+    expected_sum: u64,
+}
+
+impl MixedWorkload {
+    fn new(seed: u64) -> Self {
+        MixedWorkload { seed, slots: 32, iters: 40, base: 0, expected_sum: 0 }
+    }
+}
+
+impl Workload for MixedWorkload {
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn setup(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.base = ctx.alloc_words(self.slots);
+        for i in 0..self.slots {
+            ctx.poke(self.base + i * 8, 0);
+        }
+        // Every committed transaction adds exactly 1 to one slot, so the
+        // final sum across slots is the global transaction count.
+        self.expected_sum = ctx.n_cores() as u64 * self.iters;
+    }
+
+    fn run(&self, tid: usize, ctx: &mut ThreadCtx) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0xA5A5 + tid as u64 * 0x1F3F));
+        for _ in 0..self.iters {
+            // A little private think time between transactions.
+            ctx.work(1 + rng.random_range(0..16u64));
+            // Occasionally touch a private slot non-transactionally.
+            if rng.random_range(0..4u32) == 0 {
+                let probe = self.base + rng.random_range(0..self.slots) * 8;
+                let _ = ctx.load(probe);
+            }
+            // Pre-draw the access pattern so it does not depend on the
+            // number of attempts (the RNG does not rewind on abort).
+            let reads: Vec<Addr> = (0..rng.random_range(1..5u32))
+                .map(|_| self.base + rng.random_range(0..self.slots) * 8)
+                .collect();
+            let bump = self.base + rng.random_range(0..self.slots) * 8;
+            let think: u64 = rng.random_range(0..8u64);
+            ctx.txn(TxSite(7), |tx| {
+                let mut acc = 0u64;
+                for &a in &reads {
+                    acc = acc.wrapping_add(tx.load(a)?);
+                }
+                tx.work(1 + (acc % 3) + think);
+                let v = tx.load(bump)?;
+                tx.store(bump, v + 1)?;
+                Ok(())
+            });
+        }
+        ctx.barrier();
+    }
+
+    fn verify(&self, ctx: &mut SetupCtx<'_>) {
+        let sum: u64 = (0..self.slots).map(|i| ctx.peek(self.base + i * 8)).sum();
+        assert_eq!(sum, self.expected_sum, "lost or duplicated transactional updates");
+    }
+}
+
+/// One golden cell: (scheme, cores, seed) -> (trace_hash, cycles, aborts).
+type Golden = (SchemeKind, usize, u64, u64, u64, u64);
+
+/// Captured from the pre-change per-access-lock engine; the new engine
+/// must reproduce every tuple exactly.
+const GOLDEN: &[Golden] = &[
+    // (scheme, cores, seed, trace_hash, cycles, aborts)
+    (SchemeKind::SuvTm, 1, 1, 0x76f85a0f7a3aecc8, 1727, 0),
+    (SchemeKind::SuvTm, 2, 1, 0x5591b68080cd80c8, 5825, 22),
+    (SchemeKind::SuvTm, 4, 1, 0xacf71ce761d4ed1d, 21291, 229),
+    (SchemeKind::SuvTm, 8, 1, 0xa7f2041c858ede8f, 70799, 916),
+    (SchemeKind::SuvTm, 16, 1, 0xa69acd5d20b47a82, 262685, 3664),
+    (SchemeKind::LogTmSe, 4, 2, 0xf7410514135960b0, 39161, 246),
+    (SchemeKind::LogTmSe, 16, 2, 0xb2fee4e9d015c628, 816701, 6041),
+    (SchemeKind::FasTm, 8, 3, 0xb43a6e857fcc766a, 99951, 1130),
+    (SchemeKind::Lazy, 8, 4, 0x3266793920ff21eb, 27130, 138),
+    (SchemeKind::DynTm, 16, 5, 0x02fae6b85892d57e, 74364, 1314),
+    (SchemeKind::DynTmSuv, 16, 6, 0xa2108b08af889350, 57292, 1261),
+];
+
+fn run_mixed(scheme: SchemeKind, cores: usize, seed: u64) -> RunResult {
+    let cfg = MachineConfig { n_cores: cores, ..Default::default() };
+    let mut w = MixedWorkload::new(seed);
+    run_workload_traced(&cfg, scheme, &mut w, Some(TraceConfig::default()))
+}
+
+#[test]
+fn schedule_matches_preupgrade_goldens() {
+    for &(scheme, cores, seed, hash, cycles, aborts) in GOLDEN {
+        let r = run_mixed(scheme, cores, seed);
+        assert_eq!(
+            (r.trace_hash, r.stats.cycles, r.stats.tx.aborts),
+            (hash, cycles, aborts),
+            "{scheme:?}/{cores}c/seed{seed}: schedule diverged from the \
+             pre-change engine (got hash {:#018x}, {} cycles, {} aborts)",
+            r.trace_hash,
+            r.stats.cycles,
+            r.stats.tx.aborts,
+        );
+    }
+}
+
+#[test]
+fn schedule_identical_across_repeated_runs() {
+    for &(scheme, cores, seed) in
+        &[(SchemeKind::SuvTm, 16, 9), (SchemeKind::LogTmSe, 8, 10), (SchemeKind::Lazy, 4, 11)]
+    {
+        let a = run_mixed(scheme, cores, seed);
+        let b = run_mixed(scheme, cores, seed);
+        assert_eq!(a.trace_hash, b.trace_hash, "{scheme:?}/{cores}c: hash unstable");
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{scheme:?}/{cores}c: cycles unstable");
+        assert_eq!(a.stats.tx.aborts, b.stats.tx.aborts, "{scheme:?}/{cores}c: aborts unstable");
+    }
+}
+
+/// Temporary golden-capture helper: `cargo test -p suv --release
+/// --test integration_engine print_goldens -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_goldens() {
+    for &(scheme, cores, seed, ..) in GOLDEN {
+        let r = run_mixed(scheme, cores, seed);
+        println!(
+            "    (SchemeKind::{scheme:?}, {cores}, {seed}, {:#018x}, {}, {}),",
+            r.trace_hash, r.stats.cycles, r.stats.tx.aborts
+        );
+    }
+}
