@@ -42,18 +42,36 @@
 //! Malformed invocations print the usage message and exit with status 2;
 //! correctness-oracle violations exit with status 1.
 
+use std::sync::Mutex;
 use std::time::Instant;
 use suv::prelude::*;
 use suv::sim::default_workers;
 use suv::stamp::WORKLOAD_NAMES;
 use suv_bench::cli::{self, BenchOpts, Command, RunOpts, USAGE};
-use suv_bench::engine::{run_matrix, scale_name, sweep_json, HostMeta};
+use suv_bench::engine::{
+    cell_key, resume_plan, run_matrix, scale_name, sweep_json, CellOutcome, HostMeta,
+};
 use suv_bench::profile::{
     baseline_geomean, check_regression, geomean_cycles_per_sec, host_json, run_cell_profiled,
 };
 
 fn config(cores: usize, check: CheckLevel) -> MachineConfig {
     MachineConfig { n_cores: cores, check, ..Default::default() }
+}
+
+/// Fold a `--faults` spec into the machine config: arm the injector and
+/// apply its resource clamps (`pool=`/`log=`/`wb=`, 0 = leave unclamped).
+fn apply_faults(cfg: &mut MachineConfig, spec: FaultSpec) {
+    cfg.robust.faults = Some(spec);
+    if spec.pool_pages != 0 {
+        cfg.robust.pool_pages = spec.pool_pages;
+    }
+    if spec.log_bytes != 0 {
+        cfg.robust.log_bytes = spec.log_bytes;
+    }
+    if spec.write_buffer_lines != 0 {
+        cfg.robust.write_buffer_lines = spec.write_buffer_lines;
+    }
 }
 
 /// Run the offline `suv-check` oracles over a finished traced run and
@@ -107,6 +125,14 @@ fn report(r: &RunResult, breakdown: bool) {
                 println!("    {:<10} {:>5.1}%", k.label(), pct);
             }
         }
+        if r.stats.tx.overflow_aborts + r.stats.tx.irrevocable_commits > 0 {
+            println!(
+                "    resilience: {} overflow aborts, {} irrevocable commits, {} watchdog escalations",
+                r.stats.tx.overflow_aborts,
+                r.stats.tx.irrevocable_commits,
+                r.stats.tx.watchdog_escalations,
+            );
+        }
         if r.scheme == SchemeKind::SuvTm || r.scheme == SchemeKind::DynTmSuv {
             println!(
                 "    redirect: +{} entries, {} redirected back, L1-table miss {:.2}%, {} mem lookups",
@@ -125,7 +151,11 @@ fn cmd_run(o: &RunOpts) {
     // serializability oracle.
     let tracing = o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
     let tc = tracing.then(TraceConfig::default);
-    let r = run_workload_traced(&config(o.cores, o.check), o.scheme, w.as_mut(), tc);
+    let mut cfg = config(o.cores, o.check);
+    if let Some(spec) = o.faults {
+        apply_faults(&mut cfg, spec);
+    }
+    let r = run_workload_traced(&cfg, o.scheme, w.as_mut(), tc);
     report(&r, o.breakdown);
     if o.check == CheckLevel::Full && !run_oracles(&r) {
         eprintln!("suvtm: correctness oracle reported violations");
@@ -236,6 +266,36 @@ fn cmd_bench_profile(o: &BenchOpts) {
     }
 }
 
+/// Under `--resume`, carry completed ok rows forward from the previous
+/// `--out` file; only the remaining cells are simulated. Returns the full
+/// matrix of outcomes in matrix order.
+fn run_or_resume(o: &BenchOpts, workers: usize) -> Vec<CellOutcome> {
+    let previous = o
+        .resume
+        .then_some(o.out.as_ref())
+        .flatten()
+        .and_then(|path| std::fs::read_to_string(path).ok());
+    let Some(previous) = previous else {
+        return run_matrix(&o.cells, o.scale, workers);
+    };
+    let mut plan = resume_plan(&o.cells, &previous);
+    let todo: Vec<_> =
+        o.cells.iter().zip(&plan).filter(|(_, p)| p.is_none()).map(|(c, _)| c.clone()).collect();
+    eprintln!(
+        "suvtm bench --resume: {} of {} cells carried forward, {} to run",
+        plan.iter().filter(|p| p.is_some()).count(),
+        plan.len(),
+        todo.len(),
+    );
+    let mut fresh = run_matrix(&todo, o.scale, workers).into_iter();
+    for slot in &mut plan {
+        if slot.is_none() {
+            *slot = fresh.next();
+        }
+    }
+    plan.into_iter().flatten().collect()
+}
+
 fn cmd_bench(o: &BenchOpts) {
     if o.profile {
         return cmd_bench_profile(o);
@@ -249,31 +309,55 @@ fn cmd_bench(o: &BenchOpts) {
         if workers == 1 { "" } else { "s" },
     );
     let start = Instant::now();
-    let cells = run_matrix(&o.cells, o.scale, workers);
+    let cells = run_or_resume(o, workers);
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-    for c in &cells {
-        println!(
-            "{:<14} {:<10} {:>2} cores {:>12} cycles  commits={:<6} aborts={:<6} \
-             hash={:016x}  {:>8.1} ms  {:>6.1} Mcyc/s",
-            c.spec.app,
-            c.spec.scheme.name(),
-            c.spec.cores,
-            c.result.stats.cycles,
-            c.result.stats.tx.commits,
-            c.result.stats.tx.aborts,
-            c.result.trace_hash,
-            c.host_ms,
-            c.cycles_per_sec() / 1e6,
-        );
+    for outcome in &cells {
+        match outcome {
+            CellOutcome::Ok(c) => println!(
+                "{:<14} {:<10} {:>2} cores {:>12} cycles  commits={:<6} aborts={:<6} \
+                 hash={:016x}  {:>8.1} ms  {:>6.1} Mcyc/s",
+                c.spec.app,
+                c.spec.scheme.name(),
+                c.spec.cores,
+                c.result.stats.cycles,
+                c.result.stats.tx.commits,
+                c.result.stats.tx.aborts,
+                c.result.trace_hash,
+                c.host_ms,
+                c.cycles_per_sec() / 1e6,
+            ),
+            CellOutcome::Quarantined { spec, error, host_ms } => println!(
+                "{:<14} {:<10} {:>2} cores QUARANTINED after {:.1} ms: {}",
+                spec.app,
+                spec.scheme.name(),
+                spec.cores,
+                host_ms,
+                error,
+            ),
+            CellOutcome::Resumed { spec, cycles, .. } => println!(
+                "{:<14} {:<10} {:>2} cores {:>12} cycles  (resumed from previous run)",
+                spec.app,
+                spec.scheme.name(),
+                spec.cores,
+                cycles,
+            ),
+        }
     }
-    let total_cycles: u64 = cells.iter().map(|c| c.result.stats.cycles).sum();
+    let total_cycles: u64 = cells.iter().map(CellOutcome::sim_cycles).sum();
+    let quarantined: Vec<_> =
+        cells.iter().filter(|c| matches!(c, CellOutcome::Quarantined { .. })).collect();
     println!(
-        "total: {} cells, {} simulated cycles, {:.1} ms host wall ({:.1} Mcyc/s aggregate)",
+        "total: {} cells ({} quarantined), {} simulated cycles, {:.1} ms host wall \
+         ({:.1} Mcyc/s aggregate)",
         cells.len(),
+        quarantined.len(),
         total_cycles,
         wall_ms,
         if wall_ms > 0.0 { total_cycles as f64 / wall_ms / 1e3 } else { 0.0 },
     );
+    for q in &quarantined {
+        eprintln!("suvtm: quarantined cell {}", cell_key(q.spec()));
+    }
     if let Some(path) = &o.out {
         let doc = sweep_json(&cells, o.scale, Some(HostMeta { workers, wall_ms }));
         write_doc(path, doc.render());
@@ -287,6 +371,37 @@ fn cmd_list() {
     println!("checks:    off cheap full");
 }
 
+/// The message of the last simulated-OOM ([`suv::mem::AllocError`]) panic,
+/// stashed by the panic hook so `main` can turn an uncaught one into the
+/// documented exit code 3 instead of a raw panic trace.
+static LAST_OOM: Mutex<Option<String>> = Mutex::new(None);
+
+/// Install a panic hook that (a) records simulated-OOM panics quietly,
+/// (b) drops the secondary "poisoned" panics that cascade through the
+/// other simulated cores after the first one dies, and (c) falls back to
+/// the default hook for anything else (real bugs keep their backtrace).
+fn install_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(e) = info.payload().downcast_ref::<suv::mem::AllocError>() {
+            if let Ok(mut slot) = LAST_OOM.lock() {
+                *slot = Some(e.to_string());
+            }
+            return;
+        }
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| info.payload().downcast_ref::<String>().cloned());
+        if msg.as_deref().is_some_and(|m| m.contains("poisoned")) {
+            return;
+        }
+        default_hook(info);
+    }));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match cli::parse(&args) {
@@ -296,10 +411,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match cmd {
+    install_panic_hook();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cmd {
         Command::Run(o) => cmd_run(&o),
         Command::Sweep(o) => cmd_sweep_one(&o),
         Command::Bench(o) => cmd_bench(&o),
         Command::List => cmd_list(),
+    }));
+    if outcome.is_err() {
+        if let Some(msg) = LAST_OOM.lock().ok().and_then(|mut s| s.take()) {
+            eprintln!(
+                "suvtm: out of simulated memory: {msg}\n\
+                 suvtm: raise the clamped capacity (--faults pool=/log=/wb=) or shrink --scale"
+            );
+            std::process::exit(3);
+        }
+        std::process::exit(101);
     }
 }

@@ -16,11 +16,16 @@ usage: suvtm <run|sweep|bench|list> [options]
 
   run    --app NAME [--scheme NAME] [--cores N] [--scale tiny|paper]
          [--breakdown] [--trace PATH] [--trace-summary] [--check off|cheap|full]
+         [--faults SPEC]  (SPEC: seed=N,nack=P,delay=P:C,pool=N,log=N,wb=N
+          — deterministic fault injection / capacity clamps; exit 3 on a
+          simulated out-of-memory)
   sweep  --app NAME | --all
          [--cores N] [--scale tiny|paper] [--breakdown] [--check LEVEL]
          [--jobs N] [--out PATH]            (--all: parallel full matrix)
   bench  [--apps A,B,..] [--schemes S,..] [--cores N,M,..] [--scale tiny|paper]
          [--jobs N] [--serial] [--out PATH] (default out: results/BENCH_sweep.json)
+         [--resume]  (skip cells already present in --out; panicking cells
+          are quarantined as \"status\":\"quarantined\" rows, not fatal)
          [--profile] [--reps N] [--baseline PATH] [--tolerance PCT]
          (--profile: host-throughput profiling on the engine-sensitive
           matrix, serial, default out results/BENCH_host.json; with
@@ -62,6 +67,8 @@ pub struct RunOpts {
     pub trace_summary: bool,
     /// Runtime invariant checking level.
     pub check: CheckLevel,
+    /// Deterministic fault-injection spec (`--faults`), already parsed.
+    pub faults: Option<FaultSpec>,
 }
 
 /// Options for the parallel matrix commands (`bench`, `sweep --all`).
@@ -88,6 +95,9 @@ pub struct BenchOpts {
     /// Allowed geomean throughput regression vs the baseline, as a
     /// fraction (0.30 = fail when more than 30% slower).
     pub tolerance: f64,
+    /// Skip cells already recorded (with `"status":"ok"`) in the `--out`
+    /// file, carrying their rows forward — crash-resumable sweeps.
+    pub resume: bool,
 }
 
 /// A fully parsed and validated `suvtm` invocation.
@@ -174,6 +184,7 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
         trace_path: None,
         trace_summary: false,
         check: CheckLevel::Off,
+        faults: None,
     };
     let mut all = false;
     let mut it = args.iter();
@@ -187,6 +198,9 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
             "--check" => o.check = parse_check(value(&mut it, "--check")?)?,
             "--trace" => o.trace_path = Some(value(&mut it, "--trace")?.clone()),
             "--trace-summary" => o.trace_summary = true,
+            "--faults" => {
+                o.faults = Some(parse_fault_spec(value(&mut it, "--faults")?).map_err(CliError)?);
+            }
             "--all" => all = true,
             other => return err(format!("unknown option `{other}`")),
         }
@@ -216,6 +230,7 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
         reps: 3,
         baseline: None,
         tolerance: 0.30,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -249,6 +264,7 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
                 o.jobs = Some(n);
             }
             "--serial" => o.serial = true,
+            "--resume" => o.resume = true,
             "--out" => o.out = Some(value(&mut it, "--out")?.clone()),
             "--profile" => {} // pre-scanned above
             "--reps" => {
@@ -282,6 +298,9 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
     }
     if o.profile && o.jobs.is_some() {
         return err("--profile runs serially; --jobs does not apply");
+    }
+    if o.profile && o.resume {
+        return err("--resume does not apply to --profile runs");
     }
     if apps.is_empty() || schemes.is_empty() || core_counts.is_empty() {
         return err("bench: the matrix has an empty axis");
@@ -414,6 +433,33 @@ mod tests {
             Command::Bench(o) => assert_eq!(o.cells.len(), 8 * 6),
             other => panic!("expected Bench, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_parses_fault_spec() {
+        match parse(&args("run --app kmeans --faults seed=9,nack=10,delay=5:30,pool=4"))
+            .expect("valid")
+        {
+            Command::Run(o) => {
+                let f = o.faults.expect("spec parsed");
+                assert_eq!(f.seed, 9);
+                assert_eq!(f.nack_pct, 10);
+                assert_eq!((f.delay_pct, f.delay_cycles), (5, 30));
+                assert_eq!(f.pool_pages, 4);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+        let e = parse(&args("run --faults nack=200")).expect_err("must reject");
+        assert!(e.0.contains("0..=100"), "{e}");
+    }
+
+    #[test]
+    fn bench_resume_parses_and_excludes_profile() {
+        match parse(&args("bench --resume")).expect("valid") {
+            Command::Bench(o) => assert!(o.resume),
+            other => panic!("expected Bench, got {other:?}"),
+        }
+        assert!(parse(&args("bench --profile --resume")).is_err());
     }
 
     #[test]

@@ -88,6 +88,69 @@ pub fn default_axes() -> (Vec<String>, Vec<SchemeKind>) {
     (apps, schemes)
 }
 
+/// How one matrix point ended: a clean result, a quarantined panic, or a
+/// row carried forward verbatim from a previous `--out` file.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The simulation completed. Boxed: a full cell (stats + per-thread
+    /// breakdowns) dwarfs the other variants.
+    Ok(Box<BenchCell>),
+    /// The cell's simulation panicked. The panic is contained here — the
+    /// rest of the sweep keeps running, and the failure is recorded as a
+    /// `"status":"quarantined"` row instead of killing the whole matrix.
+    Quarantined {
+        /// The matrix point that failed.
+        spec: CellSpec,
+        /// The panic message.
+        error: String,
+        /// Host wall-time until the panic, in milliseconds.
+        host_ms: f64,
+    },
+    /// Skipped under `--resume`: the previous results file already holds
+    /// an ok row for this cell, spliced into the new document verbatim.
+    Resumed {
+        /// The matrix point that was skipped.
+        spec: CellSpec,
+        /// The old row's rendered JSON.
+        row: String,
+        /// Simulated cycles extracted from the old row (for totals).
+        cycles: u64,
+    },
+}
+
+impl CellOutcome {
+    /// The matrix point this outcome belongs to.
+    pub fn spec(&self) -> &CellSpec {
+        match self {
+            CellOutcome::Ok(c) => &c.spec,
+            CellOutcome::Quarantined { spec, .. } | CellOutcome::Resumed { spec, .. } => spec,
+        }
+    }
+
+    /// Simulated cycles this outcome contributes to the sweep total.
+    pub fn sim_cycles(&self) -> u64 {
+        match self {
+            CellOutcome::Ok(c) => c.result.stats.cycles,
+            CellOutcome::Quarantined { .. } => 0,
+            CellOutcome::Resumed { cycles, .. } => *cycles,
+        }
+    }
+
+    /// The completed cell, when the simulation ran to the end.
+    pub fn as_ok(&self) -> Option<&BenchCell> {
+        match self {
+            CellOutcome::Ok(c) => Some(c.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// The `"cell"` identity key of a matrix point, as written into each
+/// sweep row (and matched by `--resume`).
+pub fn cell_key(spec: &CellSpec) -> String {
+    format!("{}/{}/{}", spec.app, spec.scheme.name(), spec.cores)
+}
+
 /// Run one cell: build a fresh workload and machine, simulate with tracing
 /// on (for the reproducibility hash), and time the run on the host clock.
 pub fn run_cell(spec: &CellSpec, scale: SuiteScale) -> BenchCell {
@@ -103,11 +166,44 @@ pub fn run_cell(spec: &CellSpec, scale: SuiteScale) -> BenchCell {
     BenchCell { spec: spec.clone(), result, host_ms }
 }
 
+/// Render a panic payload as a one-line message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = p.downcast_ref::<suv::mem::AllocError>() {
+        return e.to_string();
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "panic with a non-string payload".to_string()
+}
+
+/// [`run_cell`] with the panic quarantine: a cell whose simulation dies
+/// (simulated OOM, invariant check, workload bug) becomes
+/// [`CellOutcome::Quarantined`] instead of unwinding through the job pool
+/// and killing the sweep.
+pub fn run_cell_guarded(spec: &CellSpec, scale: SuiteScale) -> CellOutcome {
+    let start = Instant::now();
+    let owned = spec.clone();
+    match std::panic::catch_unwind(move || run_cell(&owned, scale)) {
+        Ok(cell) => CellOutcome::Ok(Box::new(cell)),
+        Err(p) => CellOutcome::Quarantined {
+            spec: spec.clone(),
+            error: panic_message(p.as_ref()),
+            host_ms: start.elapsed().as_secs_f64() * 1000.0,
+        },
+    }
+}
+
 /// Run every cell of the matrix, fanned out over `workers` host threads
 /// (1 = the serial loop). Results come back in matrix order regardless of
-/// worker count.
-pub fn run_matrix(cells: &[CellSpec], scale: SuiteScale, workers: usize) -> Vec<BenchCell> {
-    run_jobs(cells.len(), workers, |i| run_cell(&cells[i], scale))
+/// worker count; panicking cells are quarantined, not fatal (the
+/// quarantine lives *inside* the job closure — a panic that reached the
+/// pool's scope join would abort the other workers).
+pub fn run_matrix(cells: &[CellSpec], scale: SuiteScale, workers: usize) -> Vec<CellOutcome> {
+    run_jobs(cells.len(), workers, |i| run_cell_guarded(&cells[i], scale))
 }
 
 /// Host-side metadata for the sweep report.
@@ -123,37 +219,136 @@ pub struct HostMeta {
 /// documented in README.md). With `host: None` every non-deterministic
 /// field (worker count, wall times, throughput) is omitted and the output
 /// is byte-identical across runs and worker counts — the form the
-/// determinism tests compare.
-pub fn sweep_json(cells: &[BenchCell], scale: SuiteScale, host: Option<HostMeta>) -> Json {
+/// determinism tests compare. Quarantined cells become
+/// `"status":"quarantined"` rows carrying the panic message; resumed
+/// cells splice their previous row in verbatim.
+pub fn sweep_json(cells: &[CellOutcome], scale: SuiteScale, host: Option<HostMeta>) -> Json {
     let rows = cells
         .iter()
-        .map(|c| {
-            let mut row = vec![
-                ("cores", Json::U64(c.spec.cores as u64)),
-                ("trace_hash", Json::Str(format!("{:016x}", c.result.trace_hash))),
-                ("run", run_json(&c.result)),
-            ];
-            if host.is_some() {
-                row.push(("host_ms", Json::F64(c.host_ms)));
-                row.push(("cycles_per_sec", Json::F64(c.cycles_per_sec())));
+        .map(|o| match o {
+            CellOutcome::Ok(c) => {
+                let mut row = vec![
+                    ("cell", Json::Str(cell_key(&c.spec))),
+                    ("status", Json::from("ok")),
+                    ("cores", Json::U64(c.spec.cores as u64)),
+                    ("trace_hash", Json::Str(format!("{:016x}", c.result.trace_hash))),
+                    ("run", run_json(&c.result)),
+                ];
+                if host.is_some() {
+                    row.push(("host_ms", Json::F64(c.host_ms)));
+                    row.push(("cycles_per_sec", Json::F64(c.cycles_per_sec())));
+                }
+                Json::obj(row)
             }
-            Json::obj(row)
+            CellOutcome::Quarantined { spec, error, host_ms } => {
+                let mut row = vec![
+                    ("cell", Json::Str(cell_key(spec))),
+                    ("status", Json::from("quarantined")),
+                    ("cores", Json::U64(spec.cores as u64)),
+                    ("app", Json::Str(spec.app.clone())),
+                    ("scheme", Json::from(spec.scheme.name())),
+                    ("error", Json::Str(error.clone())),
+                ];
+                if host.is_some() {
+                    row.push(("host_ms", Json::F64(*host_ms)));
+                }
+                Json::obj(row)
+            }
+            CellOutcome::Resumed { row, .. } => Json::Raw(row.clone()),
         })
         .collect();
+    let quarantined = cells.iter().filter(|o| matches!(o, CellOutcome::Quarantined { .. })).count();
     let mut doc = vec![
         ("schema", Json::from("suv-bench-sweep/v1")),
         ("scale", Json::from(scale_name(scale))),
         ("cells", Json::Arr(rows)),
-        ("sim_cycles_total", Json::U64(cells.iter().map(|c| c.result.stats.cycles).sum())),
+        ("sim_cycles_total", Json::U64(cells.iter().map(CellOutcome::sim_cycles).sum())),
+        ("quarantined", Json::U64(quarantined as u64)),
     ];
     if let Some(h) = host {
         doc.push(("workers", Json::U64(h.workers as u64)));
         doc.push(("host_wall_ms", Json::F64(h.wall_ms)));
-        let total_cycles: u64 = cells.iter().map(|c| c.result.stats.cycles).sum();
+        let total_cycles: u64 = cells.iter().map(CellOutcome::sim_cycles).sum();
         let cps = if h.wall_ms > 0.0 { total_cycles as f64 / (h.wall_ms / 1000.0) } else { 0.0 };
         doc.push(("cycles_per_sec", Json::F64(cps)));
     }
     Json::obj(doc)
+}
+
+/// Find the rendered row for `key` in a previous sweep document, provided
+/// its status is `ok` (quarantined rows are re-run on `--resume`).
+/// Returns the row's JSON text and its simulated cycle count.
+///
+/// This is a targeted scan, not a JSON parser: rows are located by their
+/// leading `"cell":"<key>","status":"ok"` fields (which [`sweep_json`]
+/// always writes first, in that order) and delimited by brace matching
+/// with string awareness.
+pub fn previous_ok_row(doc: &str, key: &str) -> Option<(String, u64)> {
+    let mut needle = String::from("{\"cell\":");
+    suv::trace::escape_into(key, &mut needle);
+    needle.push_str(",\"status\":\"ok\"");
+    let start = doc.find(&needle)?;
+    let row = balanced_object(&doc[start..])?;
+    // The first "cycles" field inside the row belongs to its "run" object.
+    let cycles = row
+        .find("\"cycles\":")
+        .map(|i| {
+            row[i + 9..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    Some((row.to_string(), cycles))
+}
+
+/// The prefix of `s` forming one balanced `{...}` object (string-aware).
+fn balanced_object(s: &str) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(&s[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split the matrix for `--resume`: cells whose ok rows already exist in
+/// `previous` (the old `--out` contents) come back as
+/// [`CellOutcome::Resumed`] in their matrix slot; the rest are `None` and
+/// must be run.
+pub fn resume_plan(cells: &[CellSpec], previous: &str) -> Vec<Option<CellOutcome>> {
+    cells
+        .iter()
+        .map(|spec| {
+            previous_ok_row(previous, &cell_key(spec)).map(|(row, cycles)| CellOutcome::Resumed {
+                spec: spec.clone(),
+                row,
+                cycles,
+            })
+        })
+        .collect()
 }
 
 /// The `--scale` flag spelling of a [`SuiteScale`].
@@ -192,5 +387,80 @@ mod tests {
         assert!(cell.cycles_per_sec() > 0.0);
         cell.host_ms = 0.0;
         assert_eq!(cell.cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn cell_key_is_app_scheme_cores() {
+        let spec = CellSpec { app: "vacation".into(), scheme: SchemeKind::LogTmSe, cores: 16 };
+        assert_eq!(cell_key(&spec), "vacation/LogTM-SE/16");
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_not_fatal() {
+        // An unknown workload makes run_cell panic; the guard must catch it
+        // and the sibling cell must still complete.
+        let cells = vec![
+            CellSpec { app: "no-such-app".into(), scheme: SchemeKind::SuvTm, cores: 2 },
+            CellSpec { app: "kmeans".into(), scheme: SchemeKind::SuvTm, cores: 2 },
+        ];
+        let got = run_matrix(&cells, SuiteScale::Tiny, 2);
+        assert_eq!(got.len(), 2);
+        match &got[0] {
+            CellOutcome::Quarantined { spec, error, .. } => {
+                assert_eq!(spec.app, "no-such-app");
+                assert!(error.contains("no-such-app"), "error: {error}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(got[1].as_ok().is_some());
+        let doc = sweep_json(&got, SuiteScale::Tiny, None).render();
+        assert!(doc.contains(r#""status":"quarantined""#));
+        assert!(doc.contains(r#""quarantined":1"#));
+    }
+
+    #[test]
+    fn resume_round_trips_ok_rows_byte_identically() {
+        let cells = vec![
+            CellSpec { app: "kmeans".into(), scheme: SchemeKind::SuvTm, cores: 2 },
+            CellSpec { app: "kmeans".into(), scheme: SchemeKind::LogTmSe, cores: 2 },
+        ];
+        let first = run_matrix(&cells, SuiteScale::Tiny, 1);
+        let doc = sweep_json(&first, SuiteScale::Tiny, None).render();
+
+        // Every cell has an ok row in the old doc, so a resume plan is full.
+        let plan = resume_plan(&cells, &doc);
+        assert!(plan.iter().all(Option::is_some));
+        let resumed: Vec<CellOutcome> = plan.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            sweep_json(&resumed, SuiteScale::Tiny, None).render(),
+            doc,
+            "resumed document must be byte-identical to the original"
+        );
+        let total: u64 = resumed.iter().map(CellOutcome::sim_cycles).sum();
+        let orig: u64 = first.iter().map(CellOutcome::sim_cycles).sum();
+        assert_eq!(total, orig, "cycles extracted from old rows must match");
+
+        // An unseen cell yields no row and must be re-run.
+        let fresh = CellSpec { app: "vacation".into(), scheme: SchemeKind::SuvTm, cores: 2 };
+        assert!(previous_ok_row(&doc, &cell_key(&fresh)).is_none());
+    }
+
+    #[test]
+    fn previous_ok_row_skips_quarantined_rows() {
+        let spec = CellSpec { app: "no-such-app".into(), scheme: SchemeKind::SuvTm, cores: 2 };
+        let got = run_matrix(std::slice::from_ref(&spec), SuiteScale::Tiny, 1);
+        let doc = sweep_json(&got, SuiteScale::Tiny, None).render();
+        assert!(
+            previous_ok_row(&doc, &cell_key(&spec)).is_none(),
+            "a quarantined row must not satisfy --resume"
+        );
+    }
+
+    #[test]
+    fn balanced_object_is_string_aware() {
+        assert_eq!(balanced_object(r#"{"a":"}{"}, tail"#), Some(r#"{"a":"}{"}"#));
+        assert_eq!(balanced_object(r#"{"a":{"b":1}}"#), Some(r#"{"a":{"b":1}}"#));
+        assert_eq!(balanced_object(r#"{"a":"\"}{"}"#), Some(r#"{"a":"\"}{"}"#));
+        assert_eq!(balanced_object(r#"{"unterminated":1"#), None);
     }
 }

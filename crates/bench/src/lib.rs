@@ -52,6 +52,14 @@ pub fn run_json(r: &RunResult) -> Json {
             ]),
         ),
         (
+            "resilience",
+            Json::obj([
+                ("overflow_aborts", Json::U64(r.stats.tx.overflow_aborts)),
+                ("irrevocable_commits", Json::U64(r.stats.tx.irrevocable_commits)),
+                ("watchdog_escalations", Json::U64(r.stats.tx.watchdog_escalations)),
+            ]),
+        ),
+        (
             "overflow",
             Json::obj([
                 ("l1_data_overflow_txns", Json::U64(r.stats.overflow.l1_data_overflow_txns)),

@@ -46,17 +46,29 @@ pub struct SuvVm {
     cfg: SuvConfig,
     /// Open nested-level frames, per core.
     levels: Vec<Vec<LevelFrame>>,
+    /// Cores running in irrevocable serialized mode: their stores bypass
+    /// pool allocation (in-place writes / redirect-back only), so they can
+    /// always make progress even with the pool completely dry.
+    irrevocable: Vec<bool>,
 }
 
 impl SuvVm {
-    /// Build for `n_cores` cores.
+    /// Build for `n_cores` cores with an unbounded redirect pool.
     pub fn new(n_cores: usize, cfg: &SuvConfig) -> Self {
+        Self::with_pool_pages(n_cores, cfg, 0)
+    }
+
+    /// Build with the redirect pool clamped to at most `pool_pages` pages
+    /// (0 = unbounded). A dry pool turns fresh-slot stores into
+    /// [`StoreTarget::Overflow`].
+    pub fn with_pool_pages(n_cores: usize, cfg: &SuvConfig, pool_pages: u64) -> Self {
         SuvVm {
             table: RedirectTable::new(n_cores, cfg),
             summary: SummarySignature::new(cfg.summary_bits, cfg.summary_hashes),
-            pool: PoolAllocator::new(Region::pool()),
+            pool: PoolAllocator::bounded(Region::pool(), pool_pages),
             cfg: *cfg,
             levels: (0..n_cores).map(|_| Vec::new()).collect(),
+            irrevocable: vec![false; n_cores],
         }
     }
 
@@ -208,6 +220,15 @@ impl VersionManager for SuvVm {
         };
         let committed = hit.and_then(|h| h.committed);
         let foreign_delete = hit.map(|h| h.foreign_delete).unwrap_or(false);
+        if self.irrevocable[core] && (committed.is_none() || foreign_delete) {
+            // Irrevocable mode with no redirect-back opportunity: write in
+            // place at the current version's location, with no transient
+            // and no pool allocation. The transaction is guaranteed to
+            // commit, so no rollback mapping is needed — this is what lets
+            // an escalated transaction finish with the pool completely dry.
+            let p = committed.unwrap_or(line);
+            return (StoreTarget::Mem(p + off), lat);
+        }
         let target = match committed {
             Some(p) if !foreign_delete => {
                 // Redirect back: the original space is reclaimed for the
@@ -223,8 +244,13 @@ impl VersionManager for SuvVm {
                 addr
             }
             current => {
-                // New redirection into a fresh pool slot.
-                let (slot, fresh_page) = self.pool.alloc_slot();
+                // New redirection into a fresh pool slot; a dry pool
+                // surfaces as Overflow with no bookkeeping done (INV-12:
+                // nothing to leak across the resulting abort).
+                let (slot, fresh_page) = match self.pool.try_alloc_slot() {
+                    Ok(s) => s,
+                    Err(_) => return (StoreTarget::Overflow, lat),
+                };
                 env.tracer.emit(env.now, core, TraceEvent::PoolAlloc { fresh_page });
                 if fresh_page {
                     lat += self.cfg.pool_page_alloc_cycles;
@@ -287,6 +313,10 @@ impl VersionManager for SuvVm {
 
     fn take_rt_overflow(&mut self, core: CoreId) -> (bool, bool) {
         self.table.take_overflow(core)
+    }
+
+    fn set_irrevocable(&mut self, core: CoreId, on: bool) {
+        self.irrevocable[core] = on;
     }
 
     fn redirect_stats(&self) -> RedirectStats {
@@ -502,6 +532,42 @@ mod tests {
         // Another core: second-level lookup at its configured latency.
         let (_, lat1) = vm.resolve_load(&mut env, 1, 0x5000, false);
         assert_eq!(lat1, MachineConfig::small_test().suv.l2_latency);
+    }
+
+    #[test]
+    fn clamped_pool_overflows_then_irrevocable_writes_in_place() {
+        let mc = MachineConfig::small_test();
+        let (mut mem, mut sys) = (Memory::new(), MemorySystem::new(&mc));
+        // One pool page = 64 slots.
+        let mut vm = SuvVm::with_pool_pages(mc.n_cores, &mc.suv, 1);
+        let mut tr = Tracer::disabled();
+        let mut env = VmEnv { mem: &mut mem, sys: &mut sys, now: 0, tracer: &mut tr };
+        vm.begin(&mut env, 0, false);
+        let mut overflowed = false;
+        for i in 0..100u64 {
+            let (t, _) = vm.prepare_store(&mut env, 0, 0x9000 + i * 64, i, true);
+            if t == StoreTarget::Overflow {
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed, "65th fresh slot must overflow a 1-page pool");
+        vm.abort(&mut env, 0);
+        vm.check_invariants().expect("abort reclaimed every slot");
+        // Escalated retry: irrevocable stores write in place, no slots.
+        vm.set_irrevocable(0, true);
+        vm.begin(&mut env, 0, false);
+        for i in 0..100u64 {
+            let (t, _) = vm.prepare_store(&mut env, 0, 0x9000 + i * 64, i, true);
+            assert_eq!(t, StoreTarget::Mem(0x9000 + i * 64), "in-place under irrevocable");
+            env.mem.write_word(0x9000 + i * 64, i);
+        }
+        vm.commit(&mut env, 0);
+        vm.set_irrevocable(0, false);
+        vm.check_invariants().expect("irrevocable commit left the table consistent");
+        let (lt, _) = vm.resolve_load(&mut env, 1, 0x9000 + 64, false);
+        assert_eq!(lt, LoadTarget::Mem(0x9000 + 64));
+        assert_eq!(env.mem.read_word(0x9000 + 64), 1);
     }
 
     #[test]

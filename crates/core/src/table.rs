@@ -429,6 +429,18 @@ impl RedirectTable {
                 }
             }
         }
+        // INV-12: no pool slot leaks across an abort (overflow or normal)
+        // and none is freed twice — the pool's free list must audit clean
+        // and its live-slot count must equal the number of slots the table
+        // references (committed targets + New transients).
+        pool.check_consistency().map_err(|e| format!("INV-12 pool audit: {e}"))?;
+        let live = pool.live_slots();
+        if live != live_slots.len() as u64 {
+            return Err(format!(
+                "INV-12: pool holds {live} live slots but the table references {}",
+                live_slots.len()
+            ));
+        }
         Ok(())
     }
 

@@ -68,9 +68,21 @@ impl DynTm {
     /// Original DynTM: FasTM eager half + write-buffer lazy half.
     #[must_use]
     pub fn original(eager: Box<dyn VersionManager>, n_cores: usize, cfg: &DynTmConfig) -> Self {
+        Self::original_with_buffer(eager, n_cores, cfg, 0)
+    }
+
+    /// Original DynTM with a bounded lazy write buffer (`buffer_lines`
+    /// distinct lines per transaction, 0 = unbounded).
+    #[must_use]
+    pub fn original_with_buffer(
+        eager: Box<dyn VersionManager>,
+        n_cores: usize,
+        cfg: &DynTmConfig,
+        buffer_lines: usize,
+    ) -> Self {
         DynTm {
             eager,
-            lazy_vm: Some(LazyVm::new(n_cores)),
+            lazy_vm: Some(LazyVm::with_buffer_lines(n_cores, buffer_lines)),
             selector: Selector::new(cfg),
             mode_lazy: vec![false; n_cores],
             lazy_count: 0,
@@ -182,6 +194,15 @@ impl VersionManager for DynTm {
         self.selector.update(site, committed);
         self.mode_lazy[core] = false;
         self.eager.tx_finished(core, site, committed);
+    }
+
+    fn set_irrevocable(&mut self, core: CoreId, on: bool) {
+        // Both halves must see the flag: the irrevocable retry always runs
+        // eager, but each half keeps its own bypass state.
+        self.eager.set_irrevocable(core, on);
+        if let Some(lv) = self.lazy_vm.as_mut() {
+            lv.set_irrevocable(core, on);
+        }
     }
 
     fn redirect_stats(&self) -> RedirectStats {

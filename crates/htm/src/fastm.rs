@@ -45,13 +45,30 @@ impl CoreState {
 pub struct FasTm {
     cores: Vec<CoreState>,
     cfg: HtmConfig,
+    /// Degenerate-mode log byte budget (0 = unbounded); shares the
+    /// `RobustnessConfig::log_bytes` knob with LogTM-SE.
+    log_bytes: Addr,
+    /// Cores in irrevocable serialized mode bypass the budget.
+    irrevocable: Vec<bool>,
 }
 
 impl FasTm {
-    /// Per-core state for `n_cores`.
+    /// Per-core state for `n_cores`, unbounded degenerate log.
     #[must_use]
     pub fn new(n_cores: usize, cfg: HtmConfig) -> Self {
-        FasTm { cores: (0..n_cores).map(|_| CoreState::default()).collect(), cfg }
+        Self::with_log_bytes(n_cores, cfg, 0)
+    }
+
+    /// Per-core state with the degenerate-mode log capped at `log_bytes`
+    /// bytes (0 = unbounded).
+    #[must_use]
+    pub fn with_log_bytes(n_cores: usize, cfg: HtmConfig, log_bytes: Addr) -> Self {
+        FasTm {
+            cores: (0..n_cores).map(|_| CoreState::default()).collect(),
+            cfg,
+            log_bytes,
+            irrevocable: vec![false; n_cores],
+        }
     }
 
     /// Has the core's current transaction degenerated? (tests)
@@ -113,6 +130,15 @@ impl VersionManager for FasTm {
         let line = line_of(addr);
         let mut lat = 0;
         if !self.cores[core].has_old(line) {
+            if self.cores[core].degenerate
+                && self.log_bytes != 0
+                && !self.irrevocable[core]
+                && self.cores[core].log_ptr + LINE_BYTES + 8 > self.log_bytes
+            {
+                // Degenerate-mode log budget exhausted before any
+                // bookkeeping: abort and escalate.
+                return (StoreTarget::Overflow, 0);
+            }
             // First speculative write to this line: the old value must be
             // safe in the L2, so a dirty L1 copy is written back first.
             lat += env.sys.writeback_line(env.now, core, addr);
@@ -178,6 +204,10 @@ impl VersionManager for FasTm {
         if ev.speculative {
             self.cores[core].degenerate = true;
         }
+    }
+
+    fn set_irrevocable(&mut self, core: CoreId, on: bool) {
+        self.irrevocable[core] = on;
     }
 
     fn supports_partial_abort(&self) -> bool {

@@ -23,13 +23,30 @@ struct Buffer {
 /// Write-buffer lazy VM.
 pub struct LazyVm {
     bufs: Vec<Buffer>,
+    /// Distinct-buffered-lines budget per transaction (0 = unbounded); a
+    /// store to a new line past the budget becomes
+    /// [`StoreTarget::Overflow`].
+    buffer_lines: usize,
+    /// Cores in irrevocable serialized mode bypass the budget.
+    irrevocable: Vec<bool>,
 }
 
 impl LazyVm {
-    /// One buffer per core.
+    /// One buffer per core, unbounded.
     #[must_use]
     pub fn new(n_cores: usize) -> Self {
-        LazyVm { bufs: (0..n_cores).map(|_| Buffer::default()).collect() }
+        Self::with_buffer_lines(n_cores, 0)
+    }
+
+    /// One buffer per core, capped at `buffer_lines` distinct lines per
+    /// transaction (0 = unbounded).
+    #[must_use]
+    pub fn with_buffer_lines(n_cores: usize, buffer_lines: usize) -> Self {
+        LazyVm {
+            bufs: (0..n_cores).map(|_| Buffer::default()).collect(),
+            buffer_lines,
+            irrevocable: vec![false; n_cores],
+        }
     }
 
     /// Buffered distinct lines for a core (tests).
@@ -80,6 +97,14 @@ impl VersionManager for LazyVm {
         let b = &mut self.bufs[core];
         let line = line_of(addr);
         if !b.lines.contains(&line) {
+            if self.buffer_lines != 0
+                && !self.irrevocable[core]
+                && b.lines.len() >= self.buffer_lines
+            {
+                // Buffer budget exhausted before any bookkeeping: abort
+                // and escalate.
+                return (StoreTarget::Overflow, 0);
+            }
             b.lines.push(line);
         }
         b.words.insert(word_of(addr), value);
@@ -116,6 +141,10 @@ impl VersionManager for LazyVm {
         b.words.clear();
         b.lines.clear();
         1
+    }
+
+    fn set_irrevocable(&mut self, core: CoreId, on: bool) {
+        self.irrevocable[core] = on;
     }
 }
 

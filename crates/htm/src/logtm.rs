@@ -15,12 +15,29 @@ use suv_types::{Addr, CoreId, Cycle, HtmConfig, SchemeKind};
 pub struct LogTmSe {
     logs: Vec<UndoLog>,
     cfg: HtmConfig,
+    /// Per-core undo-log byte budget (0 = unbounded). A store that would
+    /// exceed it becomes [`StoreTarget::Overflow`].
+    log_bytes: Addr,
+    /// Cores in irrevocable serialized mode bypass the budget (they are
+    /// guaranteed to commit, so the log is discarded anyway).
+    irrevocable: Vec<bool>,
 }
 
 impl LogTmSe {
-    /// One undo log per core.
+    /// One undo log per core, unbounded.
+    #[must_use]
     pub fn new(n_cores: usize, cfg: HtmConfig) -> Self {
-        LogTmSe { logs: (0..n_cores).map(UndoLog::new).collect(), cfg }
+        Self::with_log_bytes(n_cores, cfg, 0)
+    }
+
+    /// One undo log per core, capped at `log_bytes` bytes (0 = unbounded).
+    pub fn with_log_bytes(n_cores: usize, cfg: HtmConfig, log_bytes: Addr) -> Self {
+        LogTmSe {
+            logs: (0..n_cores).map(UndoLog::new).collect(),
+            cfg,
+            log_bytes,
+            irrevocable: vec![false; n_cores],
+        }
     }
 
     /// Undo-log length of a core's running transaction (tests).
@@ -60,6 +77,11 @@ impl VersionManager for LogTmSe {
         in_tx: bool,
     ) -> (StoreTarget, Cycle) {
         let lat = if in_tx {
+            if !self.irrevocable[core] && self.logs[core].would_overflow(addr, self.log_bytes) {
+                // Log budget exhausted before any bookkeeping: abort and
+                // escalate (nothing was logged, so nothing leaks).
+                return (StoreTarget::Overflow, 0);
+            }
             // Read the old value and append it to the undo log: the "one
             // load and one store on commit" per-write overhead.
             self.logs[core].log_old_value(env.mem, env.sys, env.now, core, addr)
@@ -85,6 +107,10 @@ impl VersionManager for LogTmSe {
         let trap = self.cfg.software_trap_cycles;
         let walk = self.logs[core].unwind(env.mem, env.sys, env.now + trap, core);
         trap + walk
+    }
+
+    fn set_irrevocable(&mut self, core: CoreId, on: bool) {
+        self.irrevocable[core] = on;
     }
 
     fn supports_partial_abort(&self) -> bool {

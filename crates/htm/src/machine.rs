@@ -52,6 +52,10 @@ pub enum Access {
     /// The core's transaction was doomed by a lazy committer and must
     /// abort before doing anything else.
     MustAbort { latency: Cycle },
+    /// The version manager ran out of capacity for this store (redirect
+    /// pool dry, undo log full, write buffer full). The transaction must
+    /// abort; the sim layer's escalation ladder decides how to retry.
+    Overflow { latency: Cycle },
 }
 
 /// Outcome of a commit request.
@@ -250,13 +254,24 @@ impl HtmMachine {
         if !requester_in_tx {
             return false; // non-transactional requesters just stall
         }
+        if self.txs[nacker].irrevocable {
+            // An irrevocable defender wins every conflict outright: the
+            // requester aborts immediately instead of stalling, so the
+            // irrevocable owner can never participate in a dependence
+            // cycle and is guaranteed to commit.
+            return true;
+        }
         let req_ts = self.txs[requester].timestamp;
         let nack_ts = self.txs[nacker].timestamp;
         if req_ts < nack_ts {
             // The defender NACKed an older transaction: potential cycle.
             self.txs[nacker].possible_cycle = true;
         }
-        let must_abort = nack_ts < req_ts && self.txs[requester].possible_cycle;
+        let must_abort = nack_ts < req_ts
+            && self.txs[requester].possible_cycle
+            // An irrevocable requester never aborts; it stalls until the
+            // defender yields (which the rule above guarantees it will).
+            && !self.txs[requester].irrevocable;
         if must_abort {
             self.tx_stats[requester].cycle_aborts += 1;
         }
@@ -282,6 +297,27 @@ impl HtmMachine {
 
     /// Begin (or nest) a transaction. Returns the begin latency.
     pub fn begin_tx(&mut self, now: Cycle, core: CoreId, site: TxSite) -> Cycle {
+        self.begin_tx_mode(now, core, site, false)
+    }
+
+    /// Begin the outermost transaction in irrevocable serialized mode: the
+    /// caller must already hold the chip-wide irrevocable token (the
+    /// scheduler enforces single ownership; INV-11 re-checks it here).
+    /// Irrevocable transactions always run eager, are made the oldest
+    /// transaction in the system (so the possible-cycle rule resolves
+    /// every conflict in their favour), and may bypass the version
+    /// manager's capacity limits.
+    pub fn begin_tx_irrevocable(&mut self, now: Cycle, core: CoreId, site: TxSite) -> Cycle {
+        self.begin_tx_mode(now, core, site, true)
+    }
+
+    fn begin_tx_mode(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        site: TxSite,
+        irrevocable: bool,
+    ) -> Cycle {
         self.settle(now);
         if self.txs[core].depth > 0 {
             assert!(
@@ -305,7 +341,21 @@ impl HtmMachine {
             }
             return 1; // flattened (subsumed) nesting
         }
-        let lazy = self.vm.choose_mode(core, site);
+        // Irrevocable mode forces eager conflict detection: the guarantee
+        // rests on the NACK/possible-cycle machinery resolving conflicts
+        // in the oldest transaction's favour.
+        let lazy = if irrevocable { false } else { self.vm.choose_mode(core, site) };
+        if irrevocable {
+            if self.cfg.check >= CheckLevel::Cheap {
+                if let Some(other) = (0..self.txs.len()).find(|&c| self.txs[c].irrevocable) {
+                    panic!(
+                        "INV-11 violated at t={now}: core {core} begins irrevocable \
+                         while core {other} is irrevocable"
+                    );
+                }
+            }
+            self.vm.set_irrevocable(core, true);
+        }
         let t = &mut self.txs[core];
         debug_assert_eq!(t.status, TxStatus::Idle, "core {core} beginning while busy");
         t.status = TxStatus::Active;
@@ -313,8 +363,14 @@ impl HtmMachine {
         t.site = site;
         t.lazy = lazy;
         t.doomed = false;
+        t.irrevocable = irrevocable;
         t.begin_time = now;
-        if t.timestamp == u64::MAX {
+        if irrevocable {
+            // Oldest possible age: core ids are < 2^8, so this sorts below
+            // every normal `(now << 8) | core` timestamp and the LogTM rule
+            // makes every opponent in a dependence cycle yield.
+            t.timestamp = core as u64;
+        } else if t.timestamp == u64::MAX {
             // Age is assigned once per dynamic transaction and kept across
             // retries so the oldest eventually wins.
             t.timestamp = (now << 8) | core as u64;
@@ -414,6 +470,15 @@ impl HtmMachine {
         let (target, vm_lat) = self.vm.prepare_store(&mut env, core, addr, value, true);
         let lazy = self.txs[core].lazy;
         let latency = match target {
+            StoreTarget::Overflow => {
+                // Capacity exhausted before any bookkeeping: the write
+                // signature and write set were not touched, so the abort
+                // leaks nothing (INV-12). The caller aborts and climbs the
+                // escalation ladder.
+                self.tx_stats[core].overflow_aborts += 1;
+                self.tracer.emit(now, core, TraceEvent::OverflowAbort { line });
+                return Access::Overflow { latency: vm_lat + 1 };
+            }
             StoreTarget::Buffered => vm_lat + self.cfg.l1.latency,
             StoreTarget::Mem(phys) if lazy => {
                 // Lazy conflict detection: the store stays private until
@@ -568,6 +633,11 @@ impl HtmMachine {
     pub fn abort_tx(&mut self, now: Cycle, core: CoreId) -> Cycle {
         self.settle(now);
         debug_assert!(self.txs[core].depth > 0, "abort outside a transaction");
+        assert!(
+            !self.txs[core].irrevocable,
+            "irrevocable transaction on core {core} aborted at t={now} — the escalation \
+             ladder's commit guarantee is broken"
+        );
         let mut env =
             VmEnv { mem: &mut self.mem, sys: &mut self.sys, tracer: &mut self.tracer, now };
         let lat = self.vm.abort(&mut env, core) + self.cfg.htm.restore_cycles;
@@ -594,6 +664,18 @@ impl HtmMachine {
         if committed {
             st.commits += 1;
             st.committed_tx_cycles += now + window - self.txs[core].begin_time;
+            if self.txs[core].irrevocable {
+                self.tx_stats[core].irrevocable_commits += 1;
+                self.tracer.emit(now, core, TraceEvent::IrrevocableCommit { window });
+                self.vm.set_irrevocable(core, false);
+                // Drop the flag with the commit, not with the isolation
+                // window: the successor may begin irrevocable (the
+                // scheduler token is already released by then) and a stale
+                // flag here would make `note_nack` treat this *committed*
+                // transaction as a second irrevocable owner — telling the
+                // new owner to abort and breaking the commit guarantee.
+                self.txs[core].irrevocable = false;
+            }
             self.txs[core].status = TxStatus::Committing { until: now + window };
         } else {
             st.aborts += 1;
@@ -610,6 +692,11 @@ impl HtmMachine {
         }
         // Transaction-boundary invariant audits (never charged cycles).
         if self.cfg.check >= CheckLevel::Cheap {
+            let owners = self.txs.iter().filter(|t| t.irrevocable).count();
+            assert!(
+                owners <= 1,
+                "INV-11 violated at tx end (t={now}): {owners} irrevocable owners"
+            );
             if let Err(v) = self.vm.check_invariants() {
                 panic!("version-manager invariant violated at tx end (t={now}): {v}");
             }
@@ -619,6 +706,22 @@ impl HtmMachine {
                 }
             }
         }
+    }
+
+    /// Record an escalation of `core`'s next attempt to irrevocable mode
+    /// (reason codes: 0 = overflow retry budget spent, 1 = abort-count
+    /// watchdog, 2 = starvation-cycles watchdog). Called by the sim layer
+    /// when the ladder or the watchdog fires.
+    pub fn note_escalation(&mut self, now: Cycle, core: CoreId, reason: u32) {
+        self.tx_stats[core].watchdog_escalations += 1;
+        self.tracer.emit(now, core, TraceEvent::WatchdogEscalation { reason });
+    }
+
+    /// Consecutive aborts of `core`'s current dynamic transaction (the
+    /// watchdog's abort-count signal).
+    #[must_use]
+    pub fn tx_attempts(&self, core: CoreId) -> u32 {
+        self.txs[core].attempts
     }
 
     /// Randomized exponential backoff after an abort, in cycles.
@@ -685,6 +788,12 @@ impl HtmMachine {
         let phys = match target {
             StoreTarget::Mem(p) => p,
             StoreTarget::Buffered => unreachable!("non-transactional stores are never buffered"),
+            StoreTarget::Overflow => {
+                // Non-transactional stores never allocate version-manager
+                // capacity (no logging, no buffering; SUV redirect-back
+                // only frees slots).
+                unreachable!("non-transactional store overflowed")
+            }
         };
         if !self.sys.has_permission(core, addr, AccessKind::Store) {
             if let Some(nacker) = self.find_conflict(now, core, line, true) {

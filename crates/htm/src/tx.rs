@@ -52,6 +52,11 @@ pub struct TxState {
     pub lazy: bool,
     /// A committing lazy transaction decided this one must abort.
     pub doomed: bool,
+    /// Running in irrevocable serialized mode (escalation ladder): holds
+    /// the chip-wide irrevocable token, never receives a must-abort NACK
+    /// verdict, and is guaranteed to commit. At most one core chip-wide
+    /// (INV-11).
+    pub irrevocable: bool,
     /// LogTM possible-cycle flag: set when this transaction NACKs an older
     /// requester; if it is then NACKed itself by an older transaction, it
     /// aborts to break a potential dependence cycle.
@@ -100,6 +105,7 @@ impl TxState {
             site: TxSite::ANON,
             lazy: false,
             doomed: false,
+            irrevocable: false,
             possible_cycle: false,
             depth: 0,
             rsig: make(sig_bits, sig_hashes),
@@ -234,6 +240,7 @@ impl TxState {
         self.status = TxStatus::Idle;
         self.lazy = false;
         self.doomed = false;
+        self.irrevocable = false;
         self.possible_cycle = false;
         self.depth = 0;
         self.rsig.clear();

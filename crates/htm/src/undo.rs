@@ -124,6 +124,16 @@ impl UndoLog {
         }
     }
 
+    /// Would logging `addr`'s line push the log past `cap_bytes`?
+    /// (`cap_bytes == 0` means unbounded; an already-logged line never
+    /// grows the log.)
+    #[must_use]
+    pub fn would_overflow(&self, addr: Addr, cap_bytes: Addr) -> bool {
+        cap_bytes != 0
+            && !self.has_logged(line_of(addr))
+            && self.write_ptr + RECORD_BYTES > cap_bytes
+    }
+
     /// Number of logged lines this transaction.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -54,6 +54,11 @@ pub enum StoreTarget {
     /// The version manager consumed the value into a private buffer; the
     /// machine charges only an L1 access and skips the memory write.
     Buffered,
+    /// The version manager ran out of capacity (redirect pool dry, undo
+    /// log full, write buffer full) and performed *no* bookkeeping for
+    /// this store. The machine must abort the transaction; retrying it
+    /// climbs the escalation ladder (backoff, then irrevocable mode).
+    Overflow,
 }
 
 /// A pluggable version-management scheme.
@@ -150,6 +155,13 @@ pub trait VersionManager: Send {
     /// Predictor feedback (DynTM): the transaction at `site` finished.
     fn tx_finished(&mut self, _core: CoreId, _site: TxSite, _committed: bool) {}
 
+    /// The machine switched `core` into (or out of) irrevocable serialized
+    /// mode. An irrevocable transaction is guaranteed to commit, so the VM
+    /// may bypass its capacity limits — and must never return
+    /// [`StoreTarget::Overflow`] — while the flag is set. The default
+    /// (capacity-unlimited VMs) ignores it.
+    fn set_irrevocable(&mut self, _core: CoreId, _on: bool) {}
+
     /// Redirect-table statistics (SUV; zero elsewhere).
     fn redirect_stats(&self) -> RedirectStats {
         RedirectStats::default()
@@ -218,6 +230,8 @@ mod tests {
         assert_eq!(vm.take_rt_overflow(0), (false, false));
         assert_eq!(vm.redirect_stats(), RedirectStats::default());
         assert_eq!(vm.lazy_tx_count(), 0);
+        vm.set_irrevocable(0, true); // default is a no-op
+        vm.set_irrevocable(0, false);
         let mut mem = Memory::new();
         let mut sys = MemorySystem::new(&MachineConfig::small_test());
         let mut tr = Tracer::disabled();

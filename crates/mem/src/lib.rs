@@ -13,7 +13,7 @@
 pub mod alloc;
 pub mod layout;
 
-pub use alloc::{BumpAllocator, PoolAllocator};
+pub use alloc::{AllocError, BumpAllocator, PoolAllocator};
 pub use layout::{Region, GLOBAL_BASE, HEAP_BASE, LOG_BASE, LOG_STRIDE, POOL_BASE};
 
 use suv_types::{

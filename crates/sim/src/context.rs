@@ -18,6 +18,7 @@
 //! the machine through a plain `&mut` — one slot lock per baton pass, zero
 //! per access, all safe code.
 
+use crate::fault::FaultInjector;
 use crate::probe::ProbeHandle;
 use crate::sched::Scheduler;
 use parking_lot::Mutex;
@@ -27,7 +28,7 @@ use std::sync::Arc;
 use suv_htm::machine::{Access, CommitOutcome, HtmMachine};
 use suv_mem::{BumpAllocator, Region};
 use suv_trace::TraceEvent;
-use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, TxSite};
+use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, RobustnessConfig, TxSite};
 
 /// Marker propagated by `?` out of a transaction body when the hardware
 /// aborted it.
@@ -139,6 +140,15 @@ pub struct ThreadCtx {
     /// shared counter once, at [`ThreadCtx::finish`] — an atomic RMW per
     /// sync would tax every memory access).
     elided: u64,
+    /// Escalation-ladder and watchdog thresholds (cached off the machine
+    /// config so the hot retry loop never re-locks the slot).
+    robust: RobustnessConfig,
+    /// Seeded fault injector, when the run is armed with `--faults`.
+    faults: Option<FaultInjector>,
+    /// Set by the `Tx` guard when the current attempt died of a capacity
+    /// overflow ([`Access::Overflow`]); consumed by the retry loop to
+    /// drive the escalation ladder.
+    overflow_hit: bool,
 }
 
 impl ThreadCtx {
@@ -149,10 +159,11 @@ impl ThreadCtx {
         let mut machine = MachineHold { slot, held: None };
         machine.acquire();
         let quantum_start_ns = probe.now_ns();
-        let (retry_interval, trace_on) = {
+        let (retry_interval, trace_on, robust) = {
             let m = machine.m();
-            (m.config().htm.retry_interval, m.tracer().on())
+            (m.config().htm.retry_interval, m.tracer().on(), m.config().robust)
         };
+        let faults = robust.faults.map(|spec| FaultInjector::new(&spec, tid));
         ThreadCtx {
             machine,
             sched,
@@ -168,6 +179,9 @@ impl ThreadCtx {
             probe,
             quantum_start_ns,
             elided: 0,
+            robust,
+            faults,
+            overflow_hit: false,
         }
     }
 
@@ -243,21 +257,63 @@ impl ThreadCtx {
         self.spend(kind, cycles);
     }
 
+    /// Fault hook before an access issues: a spurious NACK consumes this
+    /// issue slot (the caller retries after the stall). Deterministic —
+    /// the roll comes from the per-core seeded stream.
+    fn inject_nack(&mut self) -> bool {
+        let Some(f) = self.faults.as_mut() else { return false };
+        if !f.spurious_nack() {
+            return false;
+        }
+        let (now, stall) = (self.now, self.retry_interval);
+        if self.trace_on {
+            self.machine.m().trace_emit(
+                now,
+                self.tid,
+                TraceEvent::FaultInjected { kind: 0, cycles: stall },
+            );
+        }
+        self.spend(BreakdownKind::Stalled, stall);
+        true
+    }
+
+    /// Fault hook after an access completes: extra NoC cycles to charge
+    /// (0 = no fault drawn).
+    fn inject_delay(&mut self) -> Cycle {
+        let Some(f) = self.faults.as_mut() else { return 0 };
+        let extra = f.extra_delay();
+        if extra > 0 && self.trace_on {
+            let now = self.now;
+            self.machine.m().trace_emit(
+                now,
+                self.tid,
+                TraceEvent::FaultInjected { kind: 1, cycles: extra },
+            );
+        }
+        extra
+    }
+
     /// Non-transactional load.
     pub fn load(&mut self, addr: Addr) -> u64 {
         debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
         loop {
             self.sync();
+            if self.inject_nack() {
+                continue;
+            }
             let r = self.machine.m().nontx_load(self.now, self.tid, addr);
             match r {
                 Access::Done { value, latency } => {
                     self.spend(BreakdownKind::NoTrans, latency);
+                    let extra = self.inject_delay();
+                    self.spend(BreakdownKind::Stalled, extra);
                     return value;
                 }
                 Access::Nacked { latency, .. } => {
                     self.spend(BreakdownKind::Stalled, latency + self.retry_interval);
                 }
                 Access::MustAbort { .. } => unreachable!("non-transactional access doomed"),
+                Access::Overflow { .. } => unreachable!("non-transactional access overflowed"),
             }
         }
     }
@@ -267,16 +323,22 @@ impl ThreadCtx {
         debug_assert!(!self.in_tx, "use the Tx guard inside transactions");
         loop {
             self.sync();
+            if self.inject_nack() {
+                continue;
+            }
             let r = self.machine.m().nontx_store(self.now, self.tid, addr, value);
             match r {
                 Access::Done { latency, .. } => {
                     self.spend(BreakdownKind::NoTrans, latency);
+                    let extra = self.inject_delay();
+                    self.spend(BreakdownKind::Stalled, extra);
                     return;
                 }
                 Access::Nacked { latency, .. } => {
                     self.spend(BreakdownKind::Stalled, latency + self.retry_interval);
                 }
                 Access::MustAbort { .. } => unreachable!("non-transactional access doomed"),
+                Access::Overflow { .. } => unreachable!("non-transactional access overflowed"),
             }
         }
     }
@@ -304,14 +366,41 @@ impl ThreadCtx {
     /// Run `body` as a transaction at static site `site`, retrying on
     /// abort until it commits. Aborted attempts' transactional cycles are
     /// reclassified as Wasted.
+    ///
+    /// # The escalation ladder
+    ///
+    /// A transaction that keeps dying climbs to *irrevocable* execution:
+    /// after [`RobustnessConfig::overflow_retries`] capacity-overflow
+    /// aborts, [`RobustnessConfig::max_tx_aborts`] total aborts, or
+    /// [`RobustnessConfig::max_starvation_cycles`] since its first begin,
+    /// the thread claims the chip-wide irrevocable token (spinning in
+    /// simulated time while another holder runs — no isolation is held
+    /// while spinning, so the wait cannot deadlock) and re-executes
+    /// serialized: forced eager, capacity clamps bypassed, every conflict
+    /// won. The escalated attempt is therefore guaranteed to commit,
+    /// which bounds both overflow livelock and starvation.
     pub fn txn<F>(&mut self, site: TxSite, mut body: F)
     where
         F: FnMut(&mut Tx<'_>) -> Result<(), Abort>,
     {
         assert!(!self.in_tx, "nested txn() calls: use Tx::nested instead");
+        let first_begin = self.now;
+        let mut aborts: u32 = 0;
+        let mut overflow_aborts: u32 = 0;
+        let mut irrevocable = false;
         loop {
+            if !irrevocable {
+                if let Some(reason) = self.escalation_reason(aborts, overflow_aborts, first_begin) {
+                    self.escalate(reason);
+                    irrevocable = true;
+                }
+            }
             self.sync();
-            let begin_lat = self.machine.m().begin_tx(self.now, self.tid, site);
+            let begin_lat = if irrevocable {
+                self.machine.m().begin_tx_irrevocable(self.now, self.tid, site)
+            } else {
+                self.machine.m().begin_tx(self.now, self.tid, site)
+            };
             self.in_tx = true;
             self.attempt_trans = 0;
             self.spend(BreakdownKind::Trans, begin_lat);
@@ -343,8 +432,54 @@ impl ThreadCtx {
                 }
             };
             if committed {
+                if irrevocable {
+                    self.sched.release_irrevocable(self.tid);
+                }
                 return;
             }
+            aborts = aborts.saturating_add(1);
+            if std::mem::take(&mut self.overflow_hit) {
+                overflow_aborts = overflow_aborts.saturating_add(1);
+            }
+        }
+    }
+
+    /// Should the next attempt run irrevocable, and why? Reasons match
+    /// [`TraceEvent::WatchdogEscalation`]: 0 = overflow ladder,
+    /// 1 = abort-count watchdog, 2 = starvation-cycles watchdog. A
+    /// threshold of 0 disables that trigger.
+    fn escalation_reason(
+        &self,
+        aborts: u32,
+        overflow_aborts: u32,
+        first_begin: Cycle,
+    ) -> Option<u32> {
+        let r = &self.robust;
+        if r.overflow_retries != 0 && overflow_aborts >= r.overflow_retries {
+            return Some(0);
+        }
+        if r.max_tx_aborts != 0 && aborts >= r.max_tx_aborts {
+            return Some(1);
+        }
+        if r.max_starvation_cycles != 0
+            && self.now.saturating_sub(first_begin) >= r.max_starvation_cycles
+        {
+            return Some(2);
+        }
+        None
+    }
+
+    /// Claim the chip-wide irrevocable token, spinning in simulated time
+    /// while another transaction holds it. Called between attempts — no
+    /// transactional isolation is held here, so the current owner can
+    /// always make progress and eventually release.
+    fn escalate(&mut self, reason: u32) {
+        self.sync();
+        let now = self.now;
+        self.machine.m().note_escalation(now, self.tid, reason);
+        while !self.sched.try_acquire_irrevocable(self.tid) {
+            self.spend(BreakdownKind::Stalled, self.retry_interval);
+            self.sync();
         }
     }
 
@@ -389,10 +524,15 @@ impl Tx<'_> {
     pub fn load(&mut self, addr: Addr) -> Result<u64, Abort> {
         loop {
             self.ctx.sync();
+            if self.ctx.inject_nack() {
+                continue;
+            }
             let r = self.ctx.machine.m().tx_load(self.ctx.now, self.ctx.tid, addr);
             match r {
                 Access::Done { value, latency } => {
                     self.ctx.spend(BreakdownKind::Trans, latency);
+                    let extra = self.ctx.inject_delay();
+                    self.ctx.spend(BreakdownKind::Stalled, extra);
                     return Ok(value);
                 }
                 Access::Nacked { latency, must_abort, .. } => {
@@ -406,6 +546,11 @@ impl Tx<'_> {
                     self.ctx.spend(BreakdownKind::Stalled, latency);
                     return Err(Abort);
                 }
+                Access::Overflow { latency } => {
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    self.ctx.overflow_hit = true;
+                    return Err(Abort);
+                }
             }
         }
     }
@@ -414,10 +559,15 @@ impl Tx<'_> {
     pub fn store(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
         loop {
             self.ctx.sync();
+            if self.ctx.inject_nack() {
+                continue;
+            }
             let r = self.ctx.machine.m().tx_store(self.ctx.now, self.ctx.tid, addr, value);
             match r {
                 Access::Done { latency, .. } => {
                     self.ctx.spend(BreakdownKind::Trans, latency);
+                    let extra = self.ctx.inject_delay();
+                    self.ctx.spend(BreakdownKind::Stalled, extra);
                     return Ok(());
                 }
                 Access::Nacked { latency, must_abort, .. } => {
@@ -429,6 +579,14 @@ impl Tx<'_> {
                 }
                 Access::MustAbort { latency } => {
                     self.ctx.spend(BreakdownKind::Stalled, latency);
+                    return Err(Abort);
+                }
+                Access::Overflow { latency } => {
+                    // The VM refused the store for capacity (no bookkeeping
+                    // was done): die now and let the retry loop climb the
+                    // escalation ladder.
+                    self.ctx.spend(BreakdownKind::Stalled, latency);
+                    self.ctx.overflow_hit = true;
                     return Err(Abort);
                 }
             }

@@ -1,0 +1,168 @@
+//! Deterministic seeded fault injection.
+//!
+//! A [`FaultSpec`] (parsed from the CLI's `--faults` string) perturbs a
+//! run in three controlled ways: spurious NACKs before transactional
+//! accesses, extra NoC latency on completed accesses, and a clamp on the
+//! SUV redirect pool. Every perturbation is drawn from a per-core
+//! xoshiro stream seeded *only* by `spec.seed` and the core id, so the
+//! same spec reproduces the same trace hash, cycle count and abort count
+//! bit-for-bit — fault runs are as reproducible as healthy ones.
+//!
+//! Grammar (comma-separated `key=value` pairs, any order, all optional):
+//!
+//! ```text
+//! seed=42,nack=10,delay=5:30,pool=4
+//! ```
+//!
+//! * `seed=N`      — RNG seed (default 1)
+//! * `nack=P`      — P% of transactional accesses get a spurious NACK
+//! * `delay=P:C`   — P% of accesses pay C extra cycles of NoC latency
+//! * `pool=N`      — clamp the SUV redirect pool to N pages
+//! * `log=N`       — clamp per-core undo logs to N bytes
+//! * `wb=N`        — clamp lazy write buffers to N distinct lines
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use suv_types::{Cycle, FaultSpec};
+
+/// Parse a `--faults` spec string. Empty string yields the default spec
+/// (seed 1, no perturbations) — useful for "clamp only" runs combined
+/// with `pool=`/`log=`/`wb=`.
+pub fn parse_fault_spec(s: &str) -> Result<FaultSpec, String> {
+    let mut spec = FaultSpec::default();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec `{part}`: expected key=value"))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse::<u64>().map_err(|_| format!("fault spec `{part}`: `{v}` is not a number"))
+        };
+        let pct = |v: &str| -> Result<u8, String> {
+            let n = num(v)?;
+            if n > 100 {
+                return Err(format!("fault spec `{part}`: percentage must be 0..=100"));
+            }
+            Ok(n as u8)
+        };
+        match key {
+            "seed" => spec.seed = num(val)?,
+            "nack" => spec.nack_pct = pct(val)?,
+            "delay" => {
+                let (p, c) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("fault spec `{part}`: expected delay=PCT:CYCLES"))?;
+                spec.delay_pct = pct(p)?;
+                spec.delay_cycles = num(c)?;
+            }
+            "pool" => spec.pool_pages = num(val)?,
+            "log" => spec.log_bytes = num(val)?,
+            "wb" => spec.write_buffer_lines = num(val)?,
+            _ => {
+                return Err(format!(
+                    "fault spec `{part}`: unknown key `{key}` \
+                     (expected seed/nack/delay/pool/log/wb)"
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Per-core deterministic fault source. One lives inside each
+/// [`ThreadCtx`](crate::ThreadCtx); the streams are decorrelated across
+/// cores by folding the core id into the seed.
+pub struct FaultInjector {
+    rng: StdRng,
+    nack_pct: u8,
+    delay_pct: u8,
+    delay_cycles: Cycle,
+}
+
+impl FaultInjector {
+    /// Injector for `core` under `spec`.
+    #[must_use]
+    pub fn new(spec: &FaultSpec, core: usize) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(
+                spec.seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            nack_pct: spec.nack_pct,
+            delay_pct: spec.delay_pct,
+            delay_cycles: spec.delay_cycles,
+        }
+    }
+
+    /// Draw a percentage roll.
+    fn roll(&mut self, pct: u8) -> bool {
+        pct > 0 && (self.rng.next_u64() % 100) < pct as u64
+    }
+
+    /// Should this transactional access be hit with a spurious NACK?
+    pub fn spurious_nack(&mut self) -> bool {
+        self.roll(self.nack_pct)
+    }
+
+    /// Extra NoC cycles to charge on this completed access (0 = none).
+    pub fn extra_delay(&mut self) -> Cycle {
+        if self.roll(self.delay_pct) {
+            self.delay_cycles
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let s = parse_fault_spec("seed=42,nack=10,delay=5:30,pool=4").expect("valid spec");
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.nack_pct, 10);
+        assert_eq!(s.delay_pct, 5);
+        assert_eq!(s.delay_cycles, 30);
+        assert_eq!(s.pool_pages, 4);
+    }
+
+    #[test]
+    fn parses_clamps_and_defaults() {
+        let s = parse_fault_spec("pool=2,log=1024,wb=8").expect("valid spec");
+        assert_eq!(s.seed, 1, "seed defaults to 1");
+        assert_eq!(s.nack_pct, 0);
+        assert_eq!(s.log_bytes, 1024);
+        assert_eq!(s.write_buffer_lines, 8);
+        let empty = parse_fault_spec("").expect("empty spec is the default");
+        assert_eq!(empty, FaultSpec::default());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_fault_spec("nack").is_err(), "missing value");
+        assert!(parse_fault_spec("nack=abc").is_err(), "non-numeric");
+        assert!(parse_fault_spec("nack=101").is_err(), "percentage over 100");
+        assert!(parse_fault_spec("delay=5").is_err(), "delay needs PCT:CYCLES");
+        assert!(parse_fault_spec("bogus=1").is_err(), "unknown key");
+    }
+
+    #[test]
+    fn injector_streams_are_deterministic_and_per_core() {
+        let spec = parse_fault_spec("seed=7,nack=50,delay=50:10").expect("valid");
+        let draw = |core: usize| {
+            let mut inj = FaultInjector::new(&spec, core);
+            (0..64).map(|_| (inj.spurious_nack(), inj.extra_delay())).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(0), draw(0), "same seed+core must replay identically");
+        assert_ne!(draw(0), draw(1), "cores must be decorrelated");
+    }
+
+    #[test]
+    fn zero_percentages_never_fire() {
+        let mut inj = FaultInjector::new(&FaultSpec::default(), 3);
+        for _ in 0..256 {
+            assert!(!inj.spurious_nack());
+            assert_eq!(inj.extra_delay(), 0);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod fault;
 pub mod pool;
 pub mod probe;
 pub mod runner;
@@ -23,6 +24,7 @@ pub mod sched;
 pub mod scheme;
 
 pub use context::{machine_slot, Abort, MachineSlot, SetupCtx, ThreadCtx, Tx};
+pub use fault::{parse_fault_spec, FaultInjector};
 pub use pool::{default_workers, run_jobs};
 pub use probe::{null_probe, HostProbe, NullProbe, ProbeHandle};
 pub use runner::{

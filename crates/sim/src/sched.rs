@@ -123,6 +123,10 @@ pub struct Scheduler {
     barrier_arrivals: AtomicU64,
     /// Set when a worker panicked; parked threads wake and propagate.
     poisoned: AtomicBool,
+    /// Holder of the chip-wide irrevocable token (INV-11: at most one).
+    /// Only ever inspected/mutated by the baton holder, so the mutex is
+    /// uncontended; it exists to satisfy `Sync` without `unsafe`.
+    irrevocable: Mutex<Option<usize>>,
 }
 
 impl Scheduler {
@@ -144,7 +148,38 @@ impl Scheduler {
             handoffs_elided: AtomicU64::new(0),
             barrier_arrivals: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            irrevocable: Mutex::new(None),
         }
+    }
+
+    /// Try to claim the chip-wide irrevocable token for `tid`. Succeeds
+    /// when the token is free or already held by `tid`; a starving
+    /// transaction spins (in simulated time) on this until the current
+    /// owner commits and releases.
+    pub fn try_acquire_irrevocable(&self, tid: usize) -> bool {
+        let mut owner = self.irrevocable.lock();
+        match *owner {
+            None => {
+                *owner = Some(tid);
+                true
+            }
+            Some(t) => t == tid,
+        }
+    }
+
+    /// Release the irrevocable token (called after the irrevocable
+    /// transaction commits).
+    pub fn release_irrevocable(&self, tid: usize) {
+        let mut owner = self.irrevocable.lock();
+        debug_assert_eq!(*owner, Some(tid), "releasing a token not held");
+        if *owner == Some(tid) {
+            *owner = None;
+        }
+    }
+
+    /// Current irrevocable-token owner, if any (tests/diagnostics).
+    pub fn irrevocable_owner(&self) -> Option<usize> {
+        *self.irrevocable.lock()
     }
 
     /// Baton passes so far (deterministic, since the schedule is).
@@ -520,6 +555,22 @@ mod tests {
         });
         assert_eq!(sched.handoffs_taken(), 0);
         assert_eq!(sched.handoffs_elided(), 1000);
+    }
+
+    /// The irrevocable token admits at most one owner and is reentrant
+    /// for that owner (INV-11).
+    #[test]
+    fn irrevocable_token_single_owner() {
+        let sched = Scheduler::new(4);
+        assert_eq!(sched.irrevocable_owner(), None);
+        assert!(sched.try_acquire_irrevocable(2));
+        assert!(sched.try_acquire_irrevocable(2), "owner re-acquires freely");
+        assert!(!sched.try_acquire_irrevocable(0), "second claimant must wait");
+        assert_eq!(sched.irrevocable_owner(), Some(2));
+        sched.release_irrevocable(2);
+        assert_eq!(sched.irrevocable_owner(), None);
+        assert!(sched.try_acquire_irrevocable(0), "token free after release");
+        sched.release_irrevocable(0);
     }
 
     /// The packed horizon must order exactly like (time, id) tuples,

@@ -48,6 +48,9 @@ impl VersionManager for AlwaysLazy {
     fn abort(&mut self, env: &mut suv_htm::vm::VmEnv, core: usize) -> suv_types::Cycle {
         self.0.abort(env, core)
     }
+    fn set_irrevocable(&mut self, core: usize, on: bool) {
+        self.0.set_irrevocable(core, on);
+    }
     fn lazy_tx_count(&self) -> u64 {
         self.1
     }
@@ -57,17 +60,27 @@ impl VersionManager for AlwaysLazy {
 /// machine.
 pub fn build_vm(scheme: SchemeKind, cfg: &MachineConfig) -> Box<dyn VersionManager> {
     let n = cfg.n_cores;
+    // Capacity clamps from the robustness config (0 = unbounded, the
+    // default — healthy runs are unaffected).
+    let pool_pages = cfg.robust.pool_pages;
+    let log_bytes = cfg.robust.log_bytes;
+    let buf_lines = cfg.robust.write_buffer_lines as usize;
     match scheme {
-        SchemeKind::LogTmSe => Box::new(LogTmSe::new(n, cfg.htm)),
-        SchemeKind::FasTm => Box::new(FasTm::new(n, cfg.htm)),
-        SchemeKind::SuvTm => Box::new(SuvVm::new(n, &cfg.suv)),
-        SchemeKind::Lazy => Box::new(AlwaysLazy(LazyVm::new(n), 0)),
-        SchemeKind::DynTm => {
-            Box::new(DynTm::original(Box::new(FasTm::new(n, cfg.htm)), n, &cfg.dyntm))
-        }
-        SchemeKind::DynTmSuv => {
-            Box::new(DynTm::with_suv(Box::new(SuvVm::new(n, &cfg.suv)), n, &cfg.dyntm))
-        }
+        SchemeKind::LogTmSe => Box::new(LogTmSe::with_log_bytes(n, cfg.htm, log_bytes)),
+        SchemeKind::FasTm => Box::new(FasTm::with_log_bytes(n, cfg.htm, log_bytes)),
+        SchemeKind::SuvTm => Box::new(SuvVm::with_pool_pages(n, &cfg.suv, pool_pages)),
+        SchemeKind::Lazy => Box::new(AlwaysLazy(LazyVm::with_buffer_lines(n, buf_lines), 0)),
+        SchemeKind::DynTm => Box::new(DynTm::original_with_buffer(
+            Box::new(FasTm::with_log_bytes(n, cfg.htm, log_bytes)),
+            n,
+            &cfg.dyntm,
+            buf_lines,
+        )),
+        SchemeKind::DynTmSuv => Box::new(DynTm::with_suv(
+            Box::new(SuvVm::with_pool_pages(n, &cfg.suv, pool_pages)),
+            n,
+            &cfg.dyntm,
+        )),
     }
 }
 

@@ -52,12 +52,13 @@ pub use suv_types as types;
 /// The things almost every user needs.
 pub mod prelude {
     pub use crate::sim::{
-        run_workload, run_workload_traced, Abort, RunResult, SetupCtx, ThreadCtx, TraceConfig, Tx,
-        Workload,
+        parse_fault_spec, run_workload, run_workload_traced, Abort, RunResult, SetupCtx, ThreadCtx,
+        TraceConfig, Tx, Workload,
     };
     pub use crate::stamp::{by_name, high_contention_suite, stamp_suite, SuiteScale};
     pub use crate::trace::{chrome_trace_json, summary_report, TraceEvent, TraceOutput, Tracer};
     pub use crate::types::{
-        Breakdown, BreakdownKind, CheckLevel, MachineConfig, MachineStats, SchemeKind, TxSite,
+        Breakdown, BreakdownKind, CheckLevel, FaultSpec, MachineConfig, MachineStats,
+        RobustnessConfig, SchemeKind, TxSite,
     };
 }

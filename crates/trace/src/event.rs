@@ -160,11 +160,39 @@ pub enum TraceEvent {
         /// Wait length.
         cycles: u64,
     },
+    /// The version manager ran out of capacity on a store to `line`
+    /// (redirect pool dry, undo log full, write buffer full); the
+    /// transaction aborts and climbs the escalation ladder.
+    OverflowAbort {
+        /// The line whose store overflowed.
+        line: u64,
+    },
+    /// A transaction was escalated to irrevocable serialized mode.
+    /// Reasons: 0 = overflow retry budget spent, 1 = abort-count watchdog,
+    /// 2 = starvation-cycles watchdog.
+    WatchdogEscalation {
+        /// Escalation reason code (see above).
+        reason: u32,
+    },
+    /// An irrevocable transaction committed and released the chip-wide
+    /// irrevocable token.
+    IrrevocableCommit {
+        /// Total commit latency (same as the paired `TxCommit` window).
+        window: u64,
+    },
+    /// The deterministic fault injector perturbed this core: kind 0 =
+    /// spurious NACK, 1 = extra NoC delay.
+    FaultInjected {
+        /// Fault kind code (see above).
+        kind: u32,
+        /// Cycles the fault cost this core.
+        cycles: u64,
+    },
 }
 
 /// Number of distinct kind ids, including the unused id 0 — sized so that
 /// `kind_id()` always indexes a `[_; KIND_COUNT]` table.
-pub const KIND_COUNT: usize = 21;
+pub const KIND_COUNT: usize = 25;
 
 /// Kind name by kind id (index 0 is unused padding). Kept in sync with
 /// [`TraceEvent::kind_name`] by the `kind_tables_agree` test.
@@ -190,6 +218,10 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "l2_miss",
     "spec_eviction",
     "barrier_wait",
+    "overflow_abort",
+    "watchdog_escalation",
+    "irrevocable_commit",
+    "fault_injected",
 ];
 
 impl TraceEvent {
@@ -216,6 +248,10 @@ impl TraceEvent {
             TraceEvent::L2Miss { .. } => 18,
             TraceEvent::SpecEviction { .. } => 19,
             TraceEvent::BarrierWait { .. } => 20,
+            TraceEvent::OverflowAbort { .. } => 21,
+            TraceEvent::WatchdogEscalation { .. } => 22,
+            TraceEvent::IrrevocableCommit { .. } => 23,
+            TraceEvent::FaultInjected { .. } => 24,
         }
     }
 
@@ -242,6 +278,10 @@ impl TraceEvent {
             TraceEvent::L2Miss { .. } => "l2_miss",
             TraceEvent::SpecEviction { .. } => "spec_eviction",
             TraceEvent::BarrierWait { .. } => "barrier_wait",
+            TraceEvent::OverflowAbort { .. } => "overflow_abort",
+            TraceEvent::WatchdogEscalation { .. } => "watchdog_escalation",
+            TraceEvent::IrrevocableCommit { .. } => "irrevocable_commit",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -269,6 +309,10 @@ impl TraceEvent {
             TraceEvent::L2Miss { line } => (line, 0),
             TraceEvent::SpecEviction { line } => (line, 0),
             TraceEvent::BarrierWait { cycles } => (cycles, 0),
+            TraceEvent::OverflowAbort { line } => (line, 0),
+            TraceEvent::WatchdogEscalation { reason } => (reason as u64, 0),
+            TraceEvent::IrrevocableCommit { window } => (window, 0),
+            TraceEvent::FaultInjected { kind, cycles } => (kind as u64, cycles),
         }
     }
 
@@ -285,6 +329,8 @@ impl TraceEvent {
             TraceEvent::UndoWalk { entries } => Some(entries),
             TraceEvent::GangInvalidate { lines } => Some(lines),
             TraceEvent::WriteBufferDrain { lines } => Some(lines),
+            TraceEvent::IrrevocableCommit { window } => Some(window),
+            TraceEvent::FaultInjected { cycles, .. } => Some(cycles),
             _ => None,
         }
     }
@@ -328,6 +374,10 @@ mod tests {
             TraceEvent::L2Miss { line: 0 },
             TraceEvent::SpecEviction { line: 0 },
             TraceEvent::BarrierWait { cycles: 0 },
+            TraceEvent::OverflowAbort { line: 0 },
+            TraceEvent::WatchdogEscalation { reason: 0 },
+            TraceEvent::IrrevocableCommit { window: 0 },
+            TraceEvent::FaultInjected { kind: 0, cycles: 0 },
         ];
         let mut ids: Vec<u64> = events.iter().map(|e| e.kind_id()).collect();
         ids.sort_unstable();
@@ -362,6 +412,10 @@ mod tests {
             TraceEvent::L2Miss { line: 0 },
             TraceEvent::SpecEviction { line: 0 },
             TraceEvent::BarrierWait { cycles: 0 },
+            TraceEvent::OverflowAbort { line: 0 },
+            TraceEvent::WatchdogEscalation { reason: 0 },
+            TraceEvent::IrrevocableCommit { window: 0 },
+            TraceEvent::FaultInjected { kind: 0, cycles: 0 },
         ];
         assert_eq!(events.len() + 1, KIND_COUNT);
         for e in events {

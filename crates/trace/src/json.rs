@@ -21,6 +21,10 @@ pub enum Json {
     Arr(Vec<Json>),
     /// Object: insertion-ordered key/value pairs.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON spliced in verbatim (the caller guarantees it is
+    /// well-formed — used to carry rows forward across `--resume` runs
+    /// without a full parser).
+    Raw(String),
 }
 
 impl Json {
@@ -73,6 +77,7 @@ impl Json {
                 }
                 out.push('}');
             }
+            Json::Raw(s) => out.push_str(s),
         }
     }
 
@@ -165,6 +170,12 @@ mod tests {
     fn escaping() {
         assert_eq!(Json::Str("a\"b\\c\n".to_string()).render(), r#""a\"b\\c\n""#);
         assert_eq!(Json::Str("\u{1}".to_string()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let j = Json::Arr(vec![Json::Raw(r#"{"kept":1}"#.to_string()), Json::U64(2)]);
+        assert_eq!(j.render(), r#"[{"kept":1},2]"#);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod tracer;
 
 pub use chrome::chrome_trace_json;
 pub use event::{RedirectLevel, TraceEvent, TraceRecord};
-pub use json::Json;
+pub use json::{escape_into, Json};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{NullSink, RingRecorder, TraceSink};
 pub use summary::summary_report;

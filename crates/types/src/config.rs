@@ -171,6 +171,97 @@ impl Default for SuvConfig {
     }
 }
 
+/// Deterministic fault-injection parameters (`suvtm run --faults`).
+///
+/// All perturbations are drawn from per-core seeded RNGs in simulated-time
+/// order, so a given spec reproduces the same schedule — and the same
+/// trace hash — on every run. The spec grammar (`seed=`, `nack=`, `delay=`,
+/// `pool=`) is parsed in `suv-sim`'s `fault` module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// RNG seed the per-core injector streams derive from.
+    pub seed: u64,
+    /// Percent (0..=100) of transactional memory requests spuriously
+    /// NACKed before reaching the directory.
+    pub nack_pct: u8,
+    /// Percent (0..=100) of completed memory accesses whose NoC leg is
+    /// delayed.
+    pub delay_pct: u8,
+    /// Extra cycles an injected NoC delay adds to the access.
+    pub delay_cycles: u64,
+    /// Clamp the SUV redirect pool to this many pages (0 = leave the
+    /// configured [`RobustnessConfig::pool_pages`] alone).
+    pub pool_pages: u64,
+    /// Clamp per-core undo logs to this many bytes (0 = leave
+    /// [`RobustnessConfig::log_bytes`] alone).
+    pub log_bytes: u64,
+    /// Clamp lazy write buffers to this many distinct lines (0 = leave
+    /// [`RobustnessConfig::write_buffer_lines`] alone).
+    pub write_buffer_lines: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            nack_pct: 0,
+            delay_pct: 0,
+            delay_cycles: 0,
+            pool_pages: 0,
+            log_bytes: 0,
+            write_buffer_lines: 0,
+        }
+    }
+}
+
+/// Graceful-degradation knobs: resource-capacity clamps, the escalation
+/// ladder for overflowing transactions, and the livelock/starvation
+/// watchdog. A threshold of 0 disables that trigger.
+///
+/// The defaults arm the overflow ladder (it only fires where the old code
+/// would have panicked) and set watchdog thresholds far beyond anything a
+/// healthy run reaches, so default-config schedules are bit-identical to
+/// pre-robustness builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessConfig {
+    /// Overflow aborts of a single dynamic transaction before it escalates
+    /// to irrevocable execution (0 = never escalate on overflow).
+    pub overflow_retries: u32,
+    /// Watchdog: total aborts of a single dynamic transaction before it is
+    /// deemed starving and escalates (0 = disabled).
+    pub max_tx_aborts: u32,
+    /// Watchdog: cycles since a dynamic transaction's first begin before
+    /// it is deemed starving and escalates (0 = disabled).
+    pub max_starvation_cycles: u64,
+    /// Clamp the SUV redirect pool to this many demand pages
+    /// (0 = bounded only by the pool region).
+    pub pool_pages: u64,
+    /// Cap each core's undo-log footprint in bytes for the log-based
+    /// schemes (LogTM-SE, degenerated FasTM); exceeding it is a capacity
+    /// overflow abort (0 = unbounded).
+    pub log_bytes: u64,
+    /// Cap the lazy write buffer at this many distinct lines per
+    /// transaction; exceeding it is a capacity overflow abort
+    /// (0 = unbounded).
+    pub write_buffer_lines: u64,
+    /// Deterministic fault injection, when armed.
+    pub faults: Option<FaultSpec>,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            overflow_retries: 2,
+            max_tx_aborts: 1024,
+            max_starvation_cycles: 100_000_000,
+            pool_pages: 0,
+            log_bytes: 0,
+            write_buffer_lines: 0,
+            faults: None,
+        }
+    }
+}
+
 /// DynTM selector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynTmConfig {
@@ -309,6 +400,8 @@ pub struct MachineConfig {
     pub dyntm: DynTmConfig,
     /// Runtime invariant-checking level (see [`CheckLevel`]).
     pub check: CheckLevel,
+    /// Graceful-degradation parameters (see [`RobustnessConfig`]).
+    pub robust: RobustnessConfig,
 }
 
 impl Default for MachineConfig {
@@ -327,6 +420,7 @@ impl Default for MachineConfig {
             suv: SuvConfig::default(),
             dyntm: DynTmConfig::default(),
             check: CheckLevel::Off,
+            robust: RobustnessConfig::default(),
         }
     }
 }
@@ -413,6 +507,25 @@ mod tests {
             assert_eq!(CheckLevel::parse(lvl.name()), Some(lvl));
         }
         assert_eq!(CheckLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn robustness_defaults_are_inert_for_healthy_runs() {
+        let r = RobustnessConfig::default();
+        // The capacity clamps default to "unbounded" and the injector to
+        // "off": default-config schedules must be bit-identical to
+        // pre-robustness builds.
+        assert_eq!(r.pool_pages, 0);
+        assert_eq!(r.log_bytes, 0);
+        assert_eq!(r.write_buffer_lines, 0);
+        assert_eq!(r.faults, None);
+        // The ladder itself stays armed — it only fires where the old
+        // code panicked — and the watchdog thresholds sit far beyond any
+        // healthy transaction.
+        assert!(r.overflow_retries > 0);
+        assert!(r.max_tx_aborts >= 1024);
+        assert!(r.max_starvation_cycles >= 100_000_000);
+        assert_eq!(MachineConfig::default().robust, r);
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub use addr::{
     PageAddr, LINE_BYTES, LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT, WORDS_PER_LINE, WORD_BYTES,
 };
 pub use config::{
-    BackoffConfig, CacheGeom, CheckLevel, ConflictPolicy, DynTmConfig, HtmConfig, MachineConfig,
-    SchemeKind, SuvConfig,
+    BackoffConfig, CacheGeom, CheckLevel, ConflictPolicy, DynTmConfig, FaultSpec, HtmConfig,
+    MachineConfig, RobustnessConfig, SchemeKind, SuvConfig,
 };
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use stats::{Breakdown, BreakdownKind, MachineStats, OverflowStats, RedirectStats, TxStats};

@@ -143,6 +143,15 @@ pub struct TxStats {
     /// Sum over committed transactions of (commit_time - begin_time); used
     /// to report mean transaction length as in Table IV.
     pub committed_tx_cycles: u64,
+    /// Aborts caused by a version-management capacity overflow (redirect
+    /// pool dry, undo log full, write buffer full).
+    pub overflow_aborts: u64,
+    /// Transactions that committed in irrevocable (serialized) mode after
+    /// climbing the escalation ladder.
+    pub irrevocable_commits: u64,
+    /// Escalations to irrevocable mode (overflow ladder or the
+    /// livelock/starvation watchdog).
+    pub watchdog_escalations: u64,
 }
 
 impl TxStats {
@@ -177,6 +186,9 @@ impl TxStats {
         self.tx_stores += o.tx_stores;
         self.max_write_set = self.max_write_set.max(o.max_write_set);
         self.committed_tx_cycles += o.committed_tx_cycles;
+        self.overflow_aborts += o.overflow_aborts;
+        self.irrevocable_commits += o.irrevocable_commits;
+        self.watchdog_escalations += o.watchdog_escalations;
     }
 }
 

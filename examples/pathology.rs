@@ -61,7 +61,7 @@ fn blocked_cycles(scheme: SchemeKind, commit: bool) -> (u64, u64) {
                 break;
             }
             Access::Nacked { latency, .. } => t1 += latency.max(1),
-            Access::MustAbort { .. } => unreachable!(),
+            Access::MustAbort { .. } | Access::Overflow { .. } => unreachable!(),
         }
     }
     (window, t1 - start)

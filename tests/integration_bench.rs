@@ -4,7 +4,7 @@
 
 use suv::prelude::*;
 use suv::sim::default_workers;
-use suv_bench::engine::{matrix, run_matrix, sweep_json, BenchCell};
+use suv_bench::engine::{matrix, run_matrix, sweep_json, CellOutcome};
 
 /// A small but multi-axis matrix: 2 apps x 3 schemes x 2 core counts.
 fn small_matrix() -> Vec<suv_bench::engine::CellSpec> {
@@ -15,9 +15,13 @@ fn small_matrix() -> Vec<suv_bench::engine::CellSpec> {
     )
 }
 
-fn assert_cells_identical(serial: &[BenchCell], parallel: &[BenchCell]) {
+fn assert_cells_identical(serial: &[CellOutcome], parallel: &[CellOutcome]) {
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(parallel) {
+        let (s, p) = (
+            s.as_ok().expect("no cell may be quarantined in this matrix"),
+            p.as_ok().expect("no cell may be quarantined in this matrix"),
+        );
         assert_eq!(s.spec, p.spec, "matrix order must not depend on worker count");
         let cell = format!("{}/{:?}/{}c", s.spec.app, s.spec.scheme, s.spec.cores);
         assert_eq!(

@@ -1,0 +1,184 @@
+//! Graceful-degradation integration tests: resource exhaustion must end in
+//! the overflow → retry → irrevocable escalation ladder, never in a wedged
+//! or panicking simulation; the livelock watchdog must bound retry storms;
+//! and the fault injector must be bit-deterministic under a fixed seed.
+
+use suv::prelude::*;
+
+const STAMP_APPS: [&str; 8] =
+    ["bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"];
+
+fn run_scaled(
+    app: &str,
+    scheme: SchemeKind,
+    scale: SuiteScale,
+    robust: RobustnessConfig,
+) -> RunResult {
+    let mut cfg = MachineConfig::small_test();
+    cfg.robust = robust;
+    let mut w = by_name(app, scale).expect("known app");
+    // Workload `verify` runs inside run_workload and panics on violation,
+    // so completion here means the degraded run stayed correct.
+    run_workload(&cfg, scheme, w.as_mut())
+}
+
+fn run_with(app: &str, scheme: SchemeKind, robust: RobustnessConfig) -> RunResult {
+    run_scaled(app, scheme, SuiteScale::Tiny, robust)
+}
+
+/// The headline acceptance criterion: every STAMP application completes —
+/// and still verifies — under SUV with the version pool clamped to 4
+/// pages, and the fallback machinery visibly engages across the suite.
+/// Paper-scale inputs are required to pressure the pool: tiny runs never
+/// hold 256 live redirect slots at once.
+#[test]
+fn all_stamp_apps_complete_with_a_four_page_pool() {
+    let robust = RobustnessConfig { pool_pages: 4, ..Default::default() };
+    let mut overflow_aborts = 0;
+    let mut irrevocable_commits = 0;
+    for app in STAMP_APPS {
+        let r = run_scaled(app, SchemeKind::SuvTm, SuiteScale::Paper, robust);
+        assert!(r.stats.tx.commits > 0, "{app}: no commits under a 4-page pool");
+        overflow_aborts += r.stats.tx.overflow_aborts;
+        irrevocable_commits += r.stats.tx.irrevocable_commits;
+    }
+    assert!(overflow_aborts > 0, "a 4-page pool must overflow somewhere in the suite");
+    assert!(irrevocable_commits > 0, "pool overflow must escalate to irrevocable commits");
+}
+
+/// DynTM+SUV shares the pool-overflow path through its SUV inner manager.
+#[test]
+fn dyntm_suv_survives_pool_clamp() {
+    let robust = RobustnessConfig { pool_pages: 4, ..Default::default() };
+    let r = run_with("vacation", SchemeKind::DynTmSuv, robust);
+    assert!(r.stats.tx.commits > 0);
+}
+
+/// A one-record undo log forces every multi-line writer through the
+/// ladder on LogTM-SE (which logs on every first write to a line).
+#[test]
+fn log_clamp_escalates_to_irrevocable_on_logtm() {
+    let robust = RobustnessConfig { log_bytes: 72, ..Default::default() };
+    let r = run_with("kmeans", SchemeKind::LogTmSe, robust);
+    assert!(r.stats.tx.commits > 0, "no commits with a clamped log");
+    assert!(r.stats.tx.overflow_aborts > 0, "clamped log never overflowed");
+    assert!(r.stats.tx.irrevocable_commits > 0, "ladder never escalated");
+}
+
+/// FasTM only touches its log in degenerate (overflow) mode, so a clamped
+/// log is rarely exercised — but it must never break a run.
+#[test]
+fn log_clamp_is_harmless_on_fastm() {
+    let robust = RobustnessConfig { log_bytes: 72, ..Default::default() };
+    let r = run_with("kmeans", SchemeKind::FasTm, robust);
+    assert!(r.stats.tx.commits > 0);
+}
+
+/// A two-line write buffer forces the lazy scheme through the same ladder
+/// (vacation's transactions write well past two distinct lines).
+#[test]
+fn write_buffer_clamp_escalates_to_irrevocable_on_lazy() {
+    let robust = RobustnessConfig { write_buffer_lines: 2, ..Default::default() };
+    let r = run_with("vacation", SchemeKind::Lazy, robust);
+    assert!(r.stats.tx.commits > 0);
+    assert!(r.stats.tx.overflow_aborts > 0);
+    assert!(r.stats.tx.irrevocable_commits > 0);
+}
+
+/// With `max_tx_aborts: 1` the abort-count watchdog fires on the first
+/// retry; the run must still complete with every commit accounted for.
+#[test]
+fn abort_count_watchdog_escalates_and_completes() {
+    let robust = RobustnessConfig { max_tx_aborts: 1, ..Default::default() };
+    let r = run_with("intruder", SchemeKind::SuvTm, robust);
+    assert!(r.stats.tx.commits > 0);
+    assert!(r.stats.tx.aborts > 0, "intruder must see contention for this test to bite");
+    assert!(r.stats.tx.watchdog_escalations > 0, "watchdog never fired at max_tx_aborts=1");
+    assert!(r.stats.tx.irrevocable_commits > 0, "escalated transactions must commit");
+}
+
+/// The starvation watchdog (cycles since the first attempt) is the other
+/// trigger; a 1-cycle budget escalates any transaction that retries.
+#[test]
+fn starvation_watchdog_escalates_and_completes() {
+    let robust = RobustnessConfig { max_starvation_cycles: 1, ..Default::default() };
+    let r = run_with("intruder", SchemeKind::SuvTm, robust);
+    assert!(r.stats.tx.commits > 0);
+    assert!(r.stats.tx.watchdog_escalations > 0, "starvation watchdog never fired");
+}
+
+/// Watchdog thresholds of 0 disable the corresponding trigger: a run with
+/// everything disabled must finish identically to the default config.
+#[test]
+fn disabled_watchdogs_change_nothing() {
+    let defaults = run_with("kmeans", SchemeKind::SuvTm, RobustnessConfig::default());
+    let disabled = RobustnessConfig {
+        overflow_retries: 0,
+        max_tx_aborts: 0,
+        max_starvation_cycles: 0,
+        ..Default::default()
+    };
+    let r = run_with("kmeans", SchemeKind::SuvTm, disabled);
+    assert_eq!(r.stats.cycles, defaults.stats.cycles);
+    assert_eq!(r.stats.tx, defaults.stats.tx);
+    assert_eq!(r.stats.tx.watchdog_escalations, 0);
+    assert_eq!(r.stats.tx.irrevocable_commits, 0);
+}
+
+fn faulted_run(app: &str, scheme: SchemeKind, spec: &str) -> RunResult {
+    let mut cfg = MachineConfig::small_test();
+    cfg.robust.faults = Some(parse_fault_spec(spec).expect("valid spec"));
+    let mut w = by_name(app, SuiteScale::Tiny).expect("known app");
+    run_workload_traced(&cfg, scheme, w.as_mut(), Some(TraceConfig::default()))
+}
+
+/// Same seed, same spec → the whole perturbed run is bit-identical:
+/// trace hash, cycle count, and abort count all reproduce.
+#[test]
+fn fault_injection_is_bit_deterministic() {
+    let spec = "seed=7,nack=10,delay=5:40";
+    for scheme in [SchemeKind::SuvTm, SchemeKind::LogTmSe, SchemeKind::Lazy] {
+        let a = faulted_run("genome", scheme, spec);
+        let b = faulted_run("genome", scheme, spec);
+        assert_eq!(a.trace_hash, b.trace_hash, "{scheme:?}: faulted trace hash drifted");
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{scheme:?}: faulted cycles drifted");
+        assert_eq!(a.stats.tx, b.stats.tx, "{scheme:?}: faulted tx stats drifted");
+        assert!(a.stats.tx.commits > 0, "{scheme:?}: faulted run must still complete");
+    }
+}
+
+/// A different seed must steer the perturbation — with a 10% NACK rate over
+/// thousands of accesses, identical results would mean the seed is ignored.
+#[test]
+fn fault_seed_steers_the_run() {
+    let a = faulted_run("genome", SchemeKind::SuvTm, "seed=7,nack=10,delay=5:40");
+    let b = faulted_run("genome", SchemeKind::SuvTm, "seed=8,nack=10,delay=5:40");
+    assert_ne!(
+        (a.trace_hash, a.stats.cycles),
+        (b.trace_hash, b.stats.cycles),
+        "different fault seeds produced an identical run"
+    );
+}
+
+/// `--faults` injection events are visible in the trace stream.
+#[test]
+fn fault_injection_events_are_traced() {
+    let r = faulted_run("genome", SchemeKind::SuvTm, "seed=7,nack=25");
+    let out = r.trace.as_ref().expect("traced run");
+    let injected =
+        out.records.iter().filter(|rec| matches!(rec.ev, TraceEvent::FaultInjected { .. })).count();
+    assert!(injected > 0, "a 25% NACK rate must leave FaultInjected events in the trace");
+}
+
+/// The `pool=` clamp inside a fault spec reaches the version pool: SUV
+/// under `pool=4` behaves like the explicit RobustnessConfig clamp.
+#[test]
+fn fault_spec_pool_clamp_reaches_the_allocator() {
+    let mut cfg = MachineConfig::small_test();
+    let spec = parse_fault_spec("seed=3,pool=4").expect("valid spec");
+    cfg.robust.faults = Some(spec);
+    cfg.robust.pool_pages = spec.pool_pages;
+    let mut w = by_name("labyrinth", SuiteScale::Tiny).expect("known app");
+    let r = run_workload(&cfg, SchemeKind::SuvTm, w.as_mut());
+    assert!(r.stats.tx.commits > 0);
+}

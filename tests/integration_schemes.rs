@@ -92,6 +92,22 @@ fn bank_is_deterministic_under_every_scheme() {
 }
 
 #[test]
+fn backoff_is_deterministic_under_every_scheme() {
+    // The randomized exponential backoff is seeded from the deterministic
+    // simulation state, so identical runs must spend identical backoff
+    // cycles on every core — for all six schemes. A drift here would break
+    // the trace-hash reproducibility oracle in the sweep engine.
+    let cfg = MachineConfig::small_test();
+    for scheme in ALL_SCHEMES {
+        let a = run_workload(&cfg, scheme, &mut bank());
+        let b = run_workload(&cfg, scheme, &mut bank());
+        let backoff =
+            |r: &RunResult| r.stats.per_thread.iter().map(|t| t.backoff).collect::<Vec<_>>();
+        assert_eq!(backoff(&a), backoff(&b), "{scheme:?}: per-core backoff cycles drifted");
+    }
+}
+
+#[test]
 fn commits_equal_across_schemes_for_fixed_work() {
     // The bank does a fixed number of dynamic transactions; commit counts
     // must agree across schemes even though timing differs.
