@@ -1,0 +1,88 @@
+//! OLTP hot-key storm: open-loop tail latency for all six schemes.
+//!
+//! Runs the `oltp-storm` workload (50/50 read/write mix with periodic
+//! hot-key storm phases, Zipfian theta 0.99) on the paper machine and
+//! reports per-scheme request-latency percentiles — measured from each
+//! request's intended arrival cycle, so queueing delay during storms is
+//! charged to the scheme that caused it — plus commit throughput. The
+//! comparison of interest is the p999 tail: the eager-undo logging
+//! schemes (LogTM-SE, FasTM) pay log-unroll abort work on the critical
+//! path of the conflicting hot-key writers and their tails balloon,
+//! while SUV's single-update commit needs no unroll. The lazy schemes
+//! sidestep storm conflicts until commit and post the shortest tails
+//! here; SUV's win over them is elsewhere (commit-serialization-free
+//! low-contention throughput, Figures 6-8).
+//!
+//! `--json PATH` additionally writes the machine-readable report
+//! (conventionally `results/oltp_storm.json`).
+
+use suv_bench::*;
+
+const SCHEMES: [SchemeKind; 6] = [
+    SchemeKind::LogTmSe,
+    SchemeKind::FasTm,
+    SchemeKind::Lazy,
+    SchemeKind::DynTm,
+    SchemeKind::SuvTm,
+    SchemeKind::DynTmSuv,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_flag(&args);
+    let cfg = paper_machine();
+    let scale = SuiteScale::Paper;
+    println!(
+        "OLTP hot-key storm: open-loop tail latency by scheme ({} cores, paper scale)",
+        cfg.n_cores
+    );
+    println!(
+        "{:<10} {:>10} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "scheme", "cycles", "commits", "aborts", "p50", "p99", "p999", "max", "txns/kcyc"
+    );
+    let mut rows = Vec::new();
+    let mut tails = Vec::new();
+    for scheme in SCHEMES {
+        let r = run(&cfg, scheme, "oltp-storm", scale);
+        let s = r.latency.as_ref().expect("oltp records a latency sample per request").summary();
+        let thr = r.stats.tx.commits as f64 / (r.stats.cycles.max(1) as f64 / 1000.0);
+        println!(
+            "{:<10} {:>10} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>10.2}",
+            r.scheme.name(),
+            r.stats.cycles,
+            r.stats.tx.commits,
+            r.stats.tx.aborts,
+            s.p50,
+            s.p99,
+            s.p999,
+            s.max,
+            thr,
+        );
+        rows.push(run_json(&r));
+        tails.push((scheme, s.p999));
+    }
+    let p999 = |want: SchemeKind| {
+        tails.iter().find(|(s, _)| *s == want).map_or(0, |(_, t)| *t).max(1) as f64
+    };
+    let suv = p999(SchemeKind::SuvTm);
+    println!(
+        "\np999 tail relative to SUV-TM: logtm-se {:.2}x, fastm {:.2}x, lazy {:.2}x, dyntm {:.2}x",
+        p999(SchemeKind::LogTmSe) / suv,
+        p999(SchemeKind::FasTm) / suv,
+        p999(SchemeKind::Lazy) / suv,
+        p999(SchemeKind::DynTm) / suv,
+    );
+    if let Some(path) = json_path {
+        let extra = vec![(
+            "p999_vs_suv",
+            Json::obj([
+                ("logtm_se", Json::F64(p999(SchemeKind::LogTmSe) / suv)),
+                ("fastm", Json::F64(p999(SchemeKind::FasTm) / suv)),
+                ("lazy", Json::F64(p999(SchemeKind::Lazy) / suv)),
+                ("dyntm", Json::F64(p999(SchemeKind::DynTm) / suv)),
+                ("dyntm_suv", Json::F64(p999(SchemeKind::DynTmSuv) / suv)),
+            ]),
+        )];
+        write_json_report(&path, "oltp_storm", rows, extra);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! suvtm run   --app genome --scheme suv [--cores 16] [--scale paper] [--breakdown]
 //!             [--trace out.json] [--trace-summary] [--check off|cheap|full]
+//!             [--traffic zipf=0.99,rw=90:10,...] [--json]   # oltp workloads
 //! suvtm sweep --app yada               # all schemes on one app
 //! suvtm sweep --all [--jobs N]         # full matrix, parallel
 //! suvtm bench [--apps A,B] [--schemes S,..] [--cores N,M] [--jobs N]
@@ -44,9 +45,10 @@
 
 use std::sync::Mutex;
 use std::time::Instant;
+use suv::oltp::Oltp;
 use suv::prelude::*;
+use suv::registry::workload_names;
 use suv::sim::default_workers;
-use suv::stamp::WORKLOAD_NAMES;
 use suv_bench::cli::{self, BenchOpts, Command, RunOpts, USAGE};
 use suv_bench::engine::{
     cell_key, resume_plan, run_matrix, scale_name, sweep_json, CellOutcome, HostMeta,
@@ -54,6 +56,7 @@ use suv_bench::engine::{
 use suv_bench::profile::{
     baseline_geomean, check_regression, geomean_cycles_per_sec, host_json, run_cell_profiled,
 };
+use suv_bench::run_json;
 
 fn config(cores: usize, check: CheckLevel) -> MachineConfig {
     MachineConfig { n_cores: cores, check, ..Default::default() }
@@ -143,37 +146,74 @@ fn report(r: &RunResult, breakdown: bool) {
             );
         }
     }
+    if let Some(lat) = &r.latency {
+        let s = lat.summary();
+        let kcycles = r.stats.cycles.max(1) as f64 / 1000.0;
+        println!(
+            "    latency: {} reqs  p50={} p99={} p999={} max={} cycles  \
+             ({:.2} txns/kcycle)",
+            s.count,
+            s.p50,
+            s.p99,
+            s.p999,
+            s.max,
+            r.stats.tx.commits as f64 / kcycles,
+        );
+    }
 }
 
 fn cmd_run(o: &RunOpts) {
-    let mut w = by_name(&o.app, o.scale).expect("app validated by the parser");
+    // A `--traffic` spec parameterizes the oltp kernel directly; every
+    // other app comes from the registry.
+    let mut w: Box<dyn Workload> = match o.traffic {
+        Some(traffic) => Box::new(Oltp::with_traffic(o.scale, traffic)),
+        None => by_name(&o.app, o.scale).expect("app validated by the parser"),
+    };
     // Full checking needs the event stream for the offline
-    // serializability oracle.
-    let tracing = o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
+    // serializability oracle; `--json` includes the trace hash so two
+    // same-seed runs can be compared byte-for-byte.
+    let tracing =
+        o.json || o.trace_path.is_some() || o.trace_summary || o.check == CheckLevel::Full;
     let tc = tracing.then(TraceConfig::default);
     let mut cfg = config(o.cores, o.check);
     if let Some(spec) = o.faults {
         apply_faults(&mut cfg, spec);
     }
     let r = run_workload_traced(&cfg, o.scheme, w.as_mut(), tc);
-    report(&r, o.breakdown);
+    if !o.json {
+        report(&r, o.breakdown);
+    }
     if o.check == CheckLevel::Full && !run_oracles(&r) {
         eprintln!("suvtm: correctness oracle reported violations");
         std::process::exit(1);
     }
     if let Some(out) = &r.trace {
-        println!(
-            "    trace: {} events, {} dropped, hash {:016x}",
-            out.events, out.dropped, r.trace_hash
-        );
+        if !o.json {
+            println!(
+                "    trace: {} events, {} dropped, hash {:016x}",
+                out.events, out.dropped, r.trace_hash
+            );
+        }
         if let Some(path) = &o.trace_path {
             let json = chrome_trace_json(&out.records, o.cores, out.dropped);
             std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-            println!("    wrote {path} (open in chrome://tracing)");
+            eprintln!("wrote {path} (open in chrome://tracing)");
         }
-        if o.trace_summary {
+        if o.trace_summary && !o.json {
             print!("{}", summary_report(out, 10));
         }
+    }
+    if o.json {
+        let mut doc = run_json(&r);
+        if let suv::trace::Json::Obj(pairs) = &mut doc {
+            pairs.push(("cores".to_string(), suv::trace::Json::U64(o.cores as u64)));
+            pairs.push(("scale".to_string(), suv::trace::Json::from(scale_name(o.scale))));
+            pairs.push((
+                "trace_hash".to_string(),
+                suv::trace::Json::Str(format!("{:016x}", r.trace_hash)),
+            ));
+        }
+        println!("{}", doc.render());
     }
 }
 
@@ -365,7 +405,7 @@ fn cmd_bench(o: &BenchOpts) {
 }
 
 fn cmd_list() {
-    println!("workloads: {}", WORKLOAD_NAMES.join(" "));
+    println!("workloads: {}", workload_names().join(" "));
     println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
     println!("scales:    tiny paper");
     println!("checks:    off cheap full");

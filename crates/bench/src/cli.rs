@@ -7,8 +7,9 @@
 
 use crate::engine::{default_axes, matrix, CellSpec};
 use crate::profile::{profile_axes, PROFILE_SCALE};
+use suv::oltp::{parse_traffic_spec, TrafficConfig};
 use suv::prelude::*;
-use suv::stamp::by_name;
+use suv::registry::by_name;
 
 /// The usage banner printed on any parse error (exit code 2).
 pub const USAGE: &str = "\
@@ -19,6 +20,13 @@ usage: suvtm <run|sweep|bench|list> [options]
          [--faults SPEC]  (SPEC: seed=N,nack=P,delay=P:C,pool=N,log=N,wb=N
           — deterministic fault injection / capacity clamps; exit 3 on a
           simulated out-of-memory)
+         [--traffic SPEC] (oltp apps only; SPEC:
+          zipf=THETA,rw=R:W,rate=C,reqs=N,keys=N,seed=N,storm=E:L:H,tenants=N
+          — open-loop traffic shape: Zipfian skew, read/write mix, mean
+          inter-arrival cycles, hot-key storms, tenant phases)
+         [--json]         (print the machine-readable run report, incl. the
+          `latency` block with p50/p99/p999 cycles and txns/kcycle, to
+          stdout; forces tracing so the payload carries the trace hash)
   sweep  --app NAME | --all
          [--cores N] [--scale tiny|paper] [--breakdown] [--check LEVEL]
          [--jobs N] [--out PATH]            (--all: parallel full matrix)
@@ -69,6 +77,11 @@ pub struct RunOpts {
     pub check: CheckLevel,
     /// Deterministic fault-injection spec (`--faults`), already parsed.
     pub faults: Option<FaultSpec>,
+    /// Open-loop traffic shape (`--traffic`), already parsed; only valid
+    /// with the oltp workload family.
+    pub traffic: Option<TrafficConfig>,
+    /// Print the machine-readable JSON run report to stdout (`--json`).
+    pub json: bool,
 }
 
 /// Options for the parallel matrix commands (`bench`, `sweep --all`).
@@ -174,6 +187,28 @@ fn value<'a>(
     it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
 }
 
+/// Parse a comma-separated list flag, prefixing any entry's error with
+/// the flag name so the offending entry is attributable (`--schemes:
+/// unknown scheme `htm9000` ...`). Entry parsers that already name the
+/// flag (e.g. `parse_cores`) are not double-prefixed.
+fn parse_list<T>(
+    flag: &str,
+    raw: &str,
+    parse_one: impl Fn(&str) -> Result<T, CliError>,
+) -> Result<Vec<T>, CliError> {
+    raw.split(',')
+        .map(|entry| {
+            parse_one(entry).map_err(|e| {
+                if e.0.starts_with(flag) {
+                    e
+                } else {
+                    CliError(format!("{flag}: {e}"))
+                }
+            })
+        })
+        .collect()
+}
+
 fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
     let mut o = RunOpts {
         app: "genome".into(),
@@ -185,6 +220,8 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
         trace_summary: false,
         check: CheckLevel::Off,
         faults: None,
+        traffic: None,
+        json: false,
     };
     let mut all = false;
     let mut it = args.iter();
@@ -201,9 +238,19 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, bool), CliError> {
             "--faults" => {
                 o.faults = Some(parse_fault_spec(value(&mut it, "--faults")?).map_err(CliError)?);
             }
+            "--traffic" => {
+                o.traffic = Some(
+                    parse_traffic_spec(value(&mut it, "--traffic")?)
+                        .map_err(|e| CliError(format!("--traffic: {e}")))?,
+                );
+            }
+            "--json" => o.json = true,
             "--all" => all = true,
             other => return err(format!("unknown option `{other}`")),
         }
+    }
+    if o.traffic.is_some() && !o.app.starts_with("oltp") {
+        return err(format!("--traffic only applies to the oltp workloads (got `{}`)", o.app));
     }
     Ok((o, all))
 }
@@ -235,23 +282,12 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--apps" => {
-                apps = value(&mut it, "--apps")?
-                    .split(',')
-                    .map(validate_app)
-                    .collect::<Result<_, _>>()?;
-            }
+            "--apps" => apps = parse_list("--apps", value(&mut it, "--apps")?, validate_app)?,
             "--schemes" => {
-                schemes = value(&mut it, "--schemes")?
-                    .split(',')
-                    .map(parse_scheme)
-                    .collect::<Result<_, _>>()?;
+                schemes = parse_list("--schemes", value(&mut it, "--schemes")?, parse_scheme)?;
             }
             "--cores" => {
-                core_counts = value(&mut it, "--cores")?
-                    .split(',')
-                    .map(parse_cores)
-                    .collect::<Result<_, _>>()?;
+                core_counts = parse_list("--cores", value(&mut it, "--cores")?, parse_cores)?;
             }
             "--scale" => o.scale = parse_scale(value(&mut it, "--scale")?)?,
             "--jobs" => {
@@ -324,6 +360,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Bench(parse_bench_opts(&args[1..], true)?))
             } else {
                 let (o, _) = parse_run_opts(&args[1..])?;
+                if o.json {
+                    return err("--json is only valid with `run`");
+                }
                 Ok(Command::Sweep(o))
             }
         }
@@ -468,5 +507,57 @@ mod tests {
         assert!(parse(&args("bench --schemes suv,htm9000")).is_err());
         assert!(parse(&args("bench --cores 4,0")).is_err());
         assert!(parse(&args("bench --jobs 0")).is_err());
+    }
+
+    #[test]
+    fn bad_list_entries_name_the_flag_and_entry() {
+        let e = parse(&args("bench --apps kmeans,bogus")).expect_err("must reject");
+        assert!(e.0.starts_with("--apps:"), "{e}");
+        assert!(e.0.contains("`bogus`"), "{e}");
+        let e = parse(&args("bench --schemes suv,htm9000")).expect_err("must reject");
+        assert!(e.0.starts_with("--schemes:"), "{e}");
+        assert!(e.0.contains("`htm9000`"), "{e}");
+        // parse_cores already names its flag; no double prefix.
+        let e = parse(&args("bench --cores 4,zero")).expect_err("must reject");
+        assert!(e.0.starts_with("--cores:"), "{e}");
+        assert!(!e.0.contains("--cores: --cores:"), "{e}");
+    }
+
+    #[test]
+    fn oltp_apps_resolve_and_traffic_parses() {
+        match parse(&args("run --app oltp --traffic zipf=0.99,rw=90:10 --json")).expect("valid") {
+            Command::Run(o) => {
+                assert_eq!(o.app, "oltp");
+                assert!(o.json);
+                let t = o.traffic.expect("traffic parsed");
+                assert_eq!(t.theta, 0.99);
+                assert_eq!(t.read_pct, 90);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+        assert!(parse(&args("run --app oltp-storm")).is_ok());
+    }
+
+    #[test]
+    fn traffic_errors_name_the_offending_key() {
+        let e = parse(&args("run --app oltp --traffic zipf=0.9,bogus=1")).expect_err("must reject");
+        assert!(e.0.starts_with("--traffic:"), "{e}");
+        assert!(e.0.contains("unknown key `bogus`"), "{e}");
+        let e = parse(&args("run --app oltp --traffic rw=70:40")).expect_err("must reject");
+        assert!(e.0.contains("rw=70:40"), "{e}");
+    }
+
+    #[test]
+    fn traffic_requires_an_oltp_app() {
+        let e = parse(&args("run --app kmeans --traffic zipf=0.5")).expect_err("must reject");
+        assert!(e.0.contains("oltp"), "{e}");
+        // Default app (genome) is not oltp either.
+        assert!(parse(&args("run --traffic zipf=0.5")).is_err());
+    }
+
+    #[test]
+    fn json_is_run_only() {
+        let e = parse(&args("sweep --app kmeans --json")).expect_err("must reject");
+        assert!(e.0.contains("--json"), "{e}");
     }
 }

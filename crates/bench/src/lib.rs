@@ -24,10 +24,29 @@ pub fn json_flag(args: &[String]) -> Option<String> {
     None
 }
 
+/// The `latency` block of a run row: open-loop request-latency
+/// percentiles (cycles, measured from intended arrival) plus commit
+/// throughput. Only present for workloads that record latency samples
+/// (the oltp family).
+fn latency_json(r: &RunResult) -> Option<Json> {
+    let lat = r.latency.as_ref()?;
+    let s = lat.summary();
+    let kcycles = r.stats.cycles.max(1) as f64 / 1000.0;
+    Some(Json::obj([
+        ("requests", Json::U64(s.count)),
+        ("mean_cycles", Json::F64(s.mean)),
+        ("p50_cycles", Json::U64(s.p50)),
+        ("p99_cycles", Json::U64(s.p99)),
+        ("p999_cycles", Json::U64(s.p999)),
+        ("max_cycles", Json::U64(s.max)),
+        ("txns_per_kcycle", Json::F64(r.stats.tx.commits as f64 / kcycles)),
+    ]))
+}
+
 /// One machine-readable row for a run: the numbers the figures plot.
 pub fn run_json(r: &RunResult) -> Json {
     let b = r.stats.total_breakdown();
-    Json::obj([
+    let mut row = Json::obj([
         ("app", Json::from(r.workload.as_str())),
         ("scheme", Json::from(r.scheme.name())),
         ("cycles", Json::U64(r.stats.cycles)),
@@ -68,7 +87,13 @@ pub fn run_json(r: &RunResult) -> Json {
                 ("rt_full_overflow_txns", Json::U64(r.stats.overflow.rt_full_overflow_txns)),
             ]),
         ),
-    ])
+    ]);
+    if let Some(lat) = latency_json(r) {
+        if let Json::Obj(pairs) = &mut row {
+            pairs.push(("latency".to_string(), lat));
+        }
+    }
+    row
 }
 
 /// Write a figure/table's JSON report to `path`, creating parent

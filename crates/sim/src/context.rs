@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use suv_htm::machine::{Access, CommitOutcome, HtmMachine};
 use suv_mem::{BumpAllocator, Region};
-use suv_trace::TraceEvent;
+use suv_trace::{LatencyHistogram, TraceEvent};
 use suv_types::{Addr, Breakdown, BreakdownKind, Cycle, RobustnessConfig, TxSite};
 
 /// Marker propagated by `?` out of a transaction body when the hardware
@@ -149,6 +149,9 @@ pub struct ThreadCtx {
     /// overflow ([`Access::Overflow`]); consumed by the retry loop to
     /// drive the escalation ladder.
     overflow_hit: bool,
+    /// Per-thread request-latency samples (recorded by open-loop workloads
+    /// via [`ThreadCtx::record_latency`]; harvested by the runner).
+    latency: LatencyHistogram,
 }
 
 impl ThreadCtx {
@@ -182,6 +185,7 @@ impl ThreadCtx {
             robust,
             faults,
             overflow_hit: false,
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -255,6 +259,28 @@ impl ThreadCtx {
     pub fn work(&mut self, cycles: Cycle) {
         let kind = if self.in_tx { BreakdownKind::Trans } else { BreakdownKind::NoTrans };
         self.spend(kind, cycles);
+    }
+
+    /// Idle (open-loop think time) until the local clock reaches `when`.
+    /// No-op when the clock is already past it — that is exactly the
+    /// backlogged case whose queueing delay open-loop latency must keep.
+    pub fn idle_until(&mut self, when: Cycle) {
+        let gap = when.saturating_sub(self.now);
+        if gap > 0 {
+            self.spend(BreakdownKind::NoTrans, gap);
+        }
+    }
+
+    /// Record one end-to-end request latency sample (in cycles, measured
+    /// from the request's *intended arrival*, not from service start).
+    pub fn record_latency(&mut self, cycles: Cycle) {
+        self.latency.observe(cycles);
+    }
+
+    /// The per-thread latency histogram (merged across threads by the
+    /// runner after the workload finishes).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     /// Fault hook before an access issues: a spurious NACK consumes this

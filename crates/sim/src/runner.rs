@@ -7,7 +7,7 @@ use crate::scheme::build_vm;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use suv_htm::machine::HtmMachine;
-use suv_trace::{TraceOutput, Tracer};
+use suv_trace::{LatencyHistogram, TraceOutput, Tracer};
 use suv_types::{MachineConfig, MachineStats, SchemeKind};
 
 /// A benchmark program for the simulated machine.
@@ -57,6 +57,9 @@ pub struct RunResult {
     pub trace_hash: u64,
     /// Full trace output when the run was traced.
     pub trace: Option<TraceOutput>,
+    /// Request latencies merged across all threads (`None` when the
+    /// workload recorded no samples — i.e. any non-open-loop workload).
+    pub latency: Option<LatencyHistogram>,
 }
 
 impl RunResult {
@@ -165,12 +168,15 @@ pub fn run_workload_profiled(
     let mut per_thread = Vec::with_capacity(cfg.n_cores);
     let mut per_thread_cycles = Vec::with_capacity(cfg.n_cores);
     let mut end = 0;
+    let mut latency = LatencyHistogram::new();
     for deposit in &contexts {
         let ctx = deposit.lock().take().expect("worker must deposit its context");
         end = end.max(ctx.now());
         per_thread_cycles.push(ctx.now());
         per_thread.push(ctx.breakdown());
+        latency.merge(ctx.latency());
     }
+    let latency = if latency.is_empty() { None } else { Some(latency) };
 
     let mut machine = *slot.lock().take().expect("all quanta closed: machine parked in the slot");
     // Harvest the tracer before verify so untimed verification accesses
@@ -206,7 +212,14 @@ pub fn run_workload_profiled(
         lazy_txns,
         eager_txns: (tx.commits + tx.aborts).saturating_sub(lazy_txns),
     };
-    RunResult { scheme, workload: workload.name().to_string(), stats, trace_hash, trace: trace_out }
+    RunResult {
+        scheme,
+        workload: workload.name().to_string(),
+        stats,
+        trace_hash,
+        trace: trace_out,
+        latency,
+    }
 }
 
 #[cfg(test)]

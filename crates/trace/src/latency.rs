@@ -1,0 +1,260 @@
+//! High-resolution latency histogram for per-transaction tail latency.
+//!
+//! The log2 [`Histogram`](crate::metrics::Histogram) is fine for event
+//! magnitudes but its buckets double in width, so a p999 read off it can
+//! be off by ~2x. Tail-latency reporting needs bounded relative error:
+//! this variant subdivides every log2 bucket into `2^SUB_BITS` linear
+//! sub-buckets (the HdrHistogram layout), bounding the quantization
+//! error of any recorded value — and therefore of any reported
+//! percentile — to `2^-SUB_BITS` (~3.1% at `SUB_BITS = 5`).
+//!
+//! Everything here is integer bucket arithmetic over `u64` cycle counts;
+//! two runs that record the same samples produce bit-identical
+//! summaries, which the determinism suite relies on.
+
+/// Linear sub-buckets per log2 range (as a power of two).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS; // 32 sub-buckets per group
+/// Groups: values < 2^SUB_BITS are exact (group 0); each further group
+/// covers one power of two up to 2^63, so 64 - SUB_BITS groups follow.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+const BUCKETS: usize = GROUPS * SUB;
+
+/// Fixed-point percentile summary of a latency distribution, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Histogram with `2^-5` (~3.1%) worst-case relative quantization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: Box::new([0; BUCKETS]), count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for value `v`.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize; // group 0: exact
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = (msb - SUB_BITS + 1) as usize;
+        let within = ((v >> (group - 1)) as usize) - SUB;
+        group * SUB + within
+    }
+
+    /// Inclusive value range covered by bucket `i`.
+    fn bucket_range(i: usize) -> (u64, u64) {
+        let group = i / SUB;
+        let within = (i % SUB) as u64;
+        if group == 0 {
+            (within, within)
+        } else {
+            let width = 1u64 << (group - 1);
+            let lo = (SUB as u64 + within) * width;
+            (lo, lo + (width - 1))
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Any samples recorded?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimate the `p`-th percentile (`p` in 0..=100, e.g. `99.9`).
+    ///
+    /// Walks the cumulative distribution to the covering sub-bucket and
+    /// interpolates linearly inside it; the result is clamped to
+    /// `[bucket_lo, max]`, so quantization error is bounded by the
+    /// sub-bucket width (`2^-SUB_BITS` of the value).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let (lo, hi) = Self::bucket_range(i);
+                let frac = ((target - cum) as f64 - 0.5) / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est.round() as u64).clamp(lo, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Count / mean / max / p50 / p99 / p999 in one call.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            max: self.max,
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.observe(v);
+        }
+        // Group 0 stores each value in its own bucket: percentiles of a
+        // uniform 0..32 distribution land on the true rank's value.
+        assert_eq!(h.percentile(50.0), 15);
+        assert_eq!(h.percentile(100.0), 31);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn index_and_range_roundtrip() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, (1 << 20) + 12345, u64::MAX] {
+            let i = LatencyHistogram::index(v);
+            assert!(i < BUCKETS, "index {i} out of range for v={v}");
+            let (lo, hi) = LatencyHistogram::bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} not in bucket [{lo},{hi}]");
+            // Bounded relative width: (hi - lo) <= lo / 32 for group >= 1.
+            if v >= 32 {
+                assert!(hi - lo <= lo >> SUB_BITS, "bucket [{lo},{hi}] too wide");
+            }
+        }
+    }
+
+    #[test]
+    fn indexes_are_monotone_and_contiguous() {
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let i = LatencyHistogram::index(v);
+            assert!(i == prev || i == prev + 1, "index jumped {prev} -> {i} at v={v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        // 10_000 samples spread over several decades; the reported pXX
+        // must sit within 1/32 relative error of the true order statistic.
+        let mut h = LatencyHistogram::new();
+        let mut vals: Vec<u64> = (0..10_000u64).map(|i| (i * i) / 7 + 100).collect();
+        for &v in &vals {
+            h.observe(v);
+        }
+        vals.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let rank = ((p / 100.0) * vals.len() as f64).ceil() as usize - 1;
+            let truth = vals[rank] as f64;
+            let got = h.percentile(p) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 1.0 / 32.0 + 1e-9, "p{p}: got {got}, true {truth}, rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut u = LatencyHistogram::new();
+        for v in 0..500u64 {
+            let x = v * 37 + 11;
+            if v % 2 == 0 {
+                a.observe(x);
+            } else {
+                b.observe(x);
+            }
+            u.observe(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+        assert_eq!(a.summary(), u.summary());
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencyHistogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

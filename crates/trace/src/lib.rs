@@ -30,6 +30,7 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod latency;
 pub mod metrics;
 pub mod sink;
 pub mod summary;
@@ -38,6 +39,7 @@ pub mod tracer;
 pub use chrome::chrome_trace_json;
 pub use event::{RedirectLevel, TraceEvent, TraceRecord};
 pub use json::{escape_into, Json};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{NullSink, RingRecorder, TraceSink};
 pub use summary::summary_report;

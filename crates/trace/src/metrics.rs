@@ -87,6 +87,37 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Estimate the `p`-th percentile (`p` in 0..=100, e.g. `99.9`) by
+    /// linear interpolation inside the covering bucket.
+    ///
+    /// Log2 buckets bound the result to the true percentile's bucket
+    /// range; interpolation assumes samples spread uniformly within a
+    /// bucket. The result is clamped to `[bucket_lo, max]`, so exact
+    /// single-value buckets (0 and 1) report exactly and the top of the
+    /// distribution never exceeds the observed maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // 1-based rank of the sample that sits at the requested quantile.
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let (lo, hi) = Self::bucket_range(i);
+                let frac = ((target - cum) as f64 - 0.5) / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est.round() as u64).clamp(lo, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
     /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -206,5 +237,58 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(Histogram::default().percentile(50.0), 0);
+        assert_eq!(Histogram::default().percentile(99.9), 0);
+    }
+
+    #[test]
+    fn percentile_exact_for_single_value_buckets() {
+        // Buckets 0 and 1 cover exactly one value, so no interpolation
+        // error is possible.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..10 {
+            h.observe(1);
+        }
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(90.0), 0);
+        assert_eq!(h.percentile(95.0), 1);
+        assert_eq!(h.percentile(100.0), 1);
+    }
+
+    #[test]
+    fn percentile_stays_inside_covering_bucket() {
+        let mut h = Histogram::default();
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        // True p50 is ~512, in bucket [512,1023]; interpolation may land
+        // anywhere inside that bucket but never outside it.
+        let p50 = h.percentile(50.0);
+        assert!((512..=1023).contains(&p50), "p50={p50}");
+        // True p99 is ~1014, in bucket [512,1023].
+        let p99 = h.percentile(99.0);
+        assert!((512..=1024).contains(&p99), "p99={p99}");
+        // Monotone in p, and never above the observed max.
+        assert!(h.percentile(50.0) <= h.percentile(99.0));
+        assert!(h.percentile(99.0) <= h.percentile(99.9));
+        assert!(h.percentile(99.9) <= h.max());
+        assert_eq!(h.percentile(100.0), 1024);
+    }
+
+    #[test]
+    fn percentile_never_exceeds_observed_max() {
+        let mut h = Histogram::default();
+        h.observe(600); // bucket [512,1023], max 600
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            assert!((512..=600).contains(&v), "p{p}={v} escaped [bucket_lo, max]");
+        }
     }
 }

@@ -25,12 +25,14 @@ pub fn summary_report(out: &TraceOutput, top_n: usize) -> String {
     let mut histos: Vec<_> = out.metrics.histograms().collect();
     histos.sort_by_key(|(name, _)| *name);
     if !histos.is_empty() {
-        s.push_str("\nmagnitudes (count / mean / max):\n");
+        s.push_str("\nmagnitudes (count / mean / p50 / p99 / max):\n");
         for (name, h) in histos {
             s.push_str(&format!(
-                "  {name:<20} {:>10} / {:>10.1} / {:>10}\n",
+                "  {name:<20} {:>10} / {:>10.1} / {:>8} / {:>8} / {:>10}\n",
                 h.count(),
                 h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
                 h.max()
             ));
         }

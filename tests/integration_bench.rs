@@ -89,6 +89,46 @@ fn full_json_carries_host_timing_fields() {
     }
 }
 
+/// One traced OLTP storm run on a small machine; the traffic seed lives
+/// in the workload's default [`suv::oltp::TrafficConfig`], so every call
+/// replays the identical request stream.
+fn traced_oltp_storm() -> RunResult {
+    let mut w = by_name("oltp-storm", SuiteScale::Tiny).expect("oltp-storm is registered");
+    let cfg = MachineConfig { n_cores: 4, ..Default::default() };
+    run_workload_traced(&cfg, SchemeKind::SuvTm, w.as_mut(), Some(TraceConfig::default()))
+}
+
+#[test]
+fn oltp_same_seed_runs_have_identical_traces_and_latency() {
+    let a = traced_oltp_storm();
+    let b = traced_oltp_storm();
+    assert_ne!(a.trace_hash, 0, "traced runs must hash their event stream");
+    assert_eq!(a.trace_hash, b.trace_hash, "same seed must replay byte-identical traces");
+    let (la, lb) = (
+        a.latency.as_ref().expect("oltp records latency").summary(),
+        b.latency.as_ref().expect("oltp records latency").summary(),
+    );
+    assert_eq!(la, lb, "p50/p99/p999 must be identical across same-seed runs");
+    assert!(la.p50 <= la.p99 && la.p99 <= la.p999 && la.p999 <= la.max);
+    let (ja, jb) = (suv_bench::run_json(&a).render(), suv_bench::run_json(&b).render());
+    assert_eq!(ja, jb, "machine-readable row drifted between same-seed runs");
+    for key in ["\"latency\"", "p50_cycles", "p99_cycles", "p999_cycles", "txns_per_kcycle"] {
+        assert!(ja.contains(key), "oltp run row must carry `{key}`");
+    }
+}
+
+#[test]
+fn oltp_bench_cells_are_identical_serial_and_parallel() {
+    let cells = matrix(
+        &["oltp".into(), "oltp-storm".into()],
+        &[SchemeKind::SuvTm, SchemeKind::LogTmSe],
+        &[4],
+    );
+    let serial = run_matrix(&cells, SuiteScale::Tiny, 1);
+    let parallel = run_matrix(&cells, SuiteScale::Tiny, 8);
+    assert_cells_identical(&serial, &parallel);
+}
+
 /// The wall-time acceptance check: on a host with >= 4 cores, the parallel
 /// sweep must beat the serial sweep by >= 3x. Skipped (with a note) on
 /// smaller hosts, where the pool degenerates to near-serial execution and

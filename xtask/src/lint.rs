@@ -355,6 +355,29 @@ mod tests {
     }
 
     #[test]
+    fn workspace_walk_covers_the_oltp_crate() {
+        // `lint_workspace` enumerates `crates/*`, so a new crate is linted
+        // automatically — pin that the oltp subsystem is on the walk and
+        // passes the rules that matter most for it: its traffic generator
+        // must draw from the in-crate xorshift (entropy rule), and its
+        // crate root must forbid unsafe code.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root");
+        let mut files = Vec::new();
+        rust_files(&root.join("crates/oltp"), &mut files).expect("crates/oltp must exist");
+        for f in ["traffic.rs", "workload.rs", "lib.rs"] {
+            assert!(
+                files.iter().any(|p| p.file_name().is_some_and(|n| n == f)),
+                "crates/oltp/src/{f} missing from the lint walk"
+            );
+        }
+        let read = |p: &str| fs::read_to_string(root.join(p)).expect("oltp source readable");
+        assert!(lint_forbid_unsafe("crates/oltp/src/lib.rs", &read("crates/oltp/src/lib.rs"))
+            .is_empty());
+        assert!(lint_entropy("crates/oltp/src/traffic.rs", &read("crates/oltp/src/traffic.rs"))
+            .is_empty());
+    }
+
+    #[test]
     fn repo_is_clean() {
         // The real workspace must pass its own lint (the CI gate).
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root");
