@@ -43,7 +43,7 @@ fn bench_table(c: &mut Criterion) {
             // so the table stays bounded and both entry paths are timed.
             for i in 0..32u64 {
                 let line = 0x2000 + ((base + i) % 4096) * 64;
-                let redirected = t.lookup(0, line).0.map(|h| h.committed.is_some()) == Some(true);
+                let redirected = t.lookup(0, line).0.is_some_and(|h| h.committed.is_some());
                 if redirected {
                     t.insert_transient(0, line, Transient::DeleteGlobal);
                 } else {

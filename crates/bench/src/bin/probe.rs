@@ -3,8 +3,8 @@ use suv_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let app = args.get(1).map(String::as_str).unwrap_or("intruder");
-    let scheme = match args.get(2).map(String::as_str).unwrap_or("S") {
+    let app = args.get(1).map_or("intruder", String::as_str);
+    let scheme = match args.get(2).map_or("S", String::as_str) {
         "L" => SchemeKind::LogTmSe,
         "F" => SchemeKind::FasTm,
         "S" => SchemeKind::SuvTm,

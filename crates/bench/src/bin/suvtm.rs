@@ -49,7 +49,7 @@ use suv::oltp::Oltp;
 use suv::prelude::*;
 use suv::registry::workload_names;
 use suv::sim::default_workers;
-use suv_bench::cli::{self, BenchOpts, Command, RunOpts, USAGE};
+use suv_bench::cli::{self, BenchOpts, Command, RunOpts, VerifyOpts, USAGE};
 use suv_bench::engine::{
     cell_key, resume_plan, run_matrix, scale_name, sweep_json, CellOutcome, HostMeta,
 };
@@ -404,6 +404,33 @@ fn cmd_bench(o: &BenchOpts) {
     }
 }
 
+/// `suvtm verify`: run the small-scope model checkers and exit 1 on any
+/// violation, leaving the rendered counterexamples where CI can pick
+/// them up as an artifact.
+fn cmd_verify(o: &VerifyOpts) {
+    let req = suv_verify::VerifyRequest {
+        engine: o.engine,
+        scheme: o.scheme,
+        protocol_mutation: o.mutate_protocol,
+        sched_mutation: o.mutate_sched,
+        max_states: o.max_states,
+    };
+    let runs = suv_verify::run_verify(&req);
+    let mut failures = String::new();
+    for r in &runs {
+        print!("{}", r.render());
+        if !r.ok() {
+            failures.push_str(&r.render());
+        }
+    }
+    let failed = runs.iter().filter(|r| !r.ok()).count();
+    println!("verify: {}/{} explorations passed", runs.len() - failed, runs.len());
+    if failed > 0 {
+        write_doc(&o.out, failures);
+        std::process::exit(1);
+    }
+}
+
 fn cmd_list() {
     println!("workloads: {}", workload_names().join(" "));
     println!("schemes:   logtm-se fastm lazy dyntm suv dyntm-suv");
@@ -456,6 +483,7 @@ fn main() {
         Command::Run(o) => cmd_run(&o),
         Command::Sweep(o) => cmd_sweep_one(&o),
         Command::Bench(o) => cmd_bench(&o),
+        Command::Verify(o) => cmd_verify(&o),
         Command::List => cmd_list(),
     }));
     if outcome.is_err() {

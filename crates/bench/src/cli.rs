@@ -13,7 +13,7 @@ use suv::registry::by_name;
 
 /// The usage banner printed on any parse error (exit code 2).
 pub const USAGE: &str = "\
-usage: suvtm <run|sweep|bench|list> [options]
+usage: suvtm <run|sweep|bench|verify|list> [options]
 
   run    --app NAME [--scheme NAME] [--cores N] [--scale tiny|paper]
          [--breakdown] [--trace PATH] [--trace-summary] [--check off|cheap|full]
@@ -38,6 +38,13 @@ usage: suvtm <run|sweep|bench|list> [options]
          (--profile: host-throughput profiling on the engine-sensitive
           matrix, serial, default out results/BENCH_host.json; with
           --baseline, exits 1 on a geomean regression beyond PCT, def. 30)
+  verify [--engine protocol|sched|both] [--scheme NAME] [--max-states N]
+         [--mutate-protocol NAME] [--mutate-sched NAME] [--out PATH]
+         (exhaustive small-scope model checking: the HTM protocol product
+          machine for every scheme and the scheduler handoff interleavings;
+          exit 1 with counterexample traces — written to --out, default
+          results/VERIFY_counterexamples.txt — on any violation; --mutate-*
+          seeds a known-broken variant the checker must catch)
   list   show workloads, schemes, scales and check levels
 
 run `suvtm list` for valid names";
@@ -113,6 +120,23 @@ pub struct BenchOpts {
     pub resume: bool,
 }
 
+/// Options for `suvtm verify` (the small-scope model checkers).
+#[derive(Debug, Clone)]
+pub struct VerifyOpts {
+    /// Which engine(s) to run.
+    pub engine: suv_verify::VerifyEngine,
+    /// Restrict the protocol engine to one scheme (`None` = all six).
+    pub scheme: Option<SchemeKind>,
+    /// Seeded protocol mutation (the run must then FAIL to be healthy).
+    pub mutate_protocol: Option<suv_verify::protocol::ProtocolMutation>,
+    /// Seeded scheduler mutation (the run must then FAIL to be healthy).
+    pub mutate_sched: Option<suv_verify::sched::SchedMutation>,
+    /// State budget per exploration.
+    pub max_states: usize,
+    /// Where to write counterexample traces on failure.
+    pub out: String,
+}
+
 /// A fully parsed and validated `suvtm` invocation.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -123,6 +147,8 @@ pub enum Command {
     Sweep(RunOpts),
     /// `suvtm bench` / `suvtm sweep --all`: the parallel matrix engine.
     Bench(BenchOpts),
+    /// `suvtm verify`: exhaustive small-scope model checking.
+    Verify(VerifyOpts),
     /// `suvtm list`: print valid names.
     List,
 }
@@ -345,6 +371,69 @@ fn parse_bench_opts(args: &[String], allow_all_flag: bool) -> Result<BenchOpts, 
     Ok(o)
 }
 
+fn parse_verify_opts(args: &[String]) -> Result<VerifyOpts, CliError> {
+    let mut o = VerifyOpts {
+        engine: suv_verify::VerifyEngine::Both,
+        scheme: None,
+        mutate_protocol: None,
+        mutate_sched: None,
+        max_states: suv_verify::DEFAULT_MAX_STATES,
+        out: "results/VERIFY_counterexamples.txt".into(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                o.engine = match value(&mut it, "--engine")?.as_str() {
+                    "protocol" => suv_verify::VerifyEngine::Protocol,
+                    "sched" => suv_verify::VerifyEngine::Sched,
+                    "both" => suv_verify::VerifyEngine::Both,
+                    other => {
+                        return err(format!(
+                            "--engine: unknown engine `{other}`; try protocol|sched|both"
+                        ))
+                    }
+                };
+            }
+            "--scheme" => o.scheme = Some(parse_scheme(value(&mut it, "--scheme")?)?),
+            "--mutate-protocol" => {
+                let v = value(&mut it, "--mutate-protocol")?;
+                o.mutate_protocol =
+                    Some(suv_verify::protocol::ProtocolMutation::parse(v).ok_or_else(|| {
+                        CliError(format!(
+                            "--mutate-protocol: unknown mutation `{v}`; try {}",
+                            suv_verify::protocol::ALL_PROTOCOL_MUTATIONS
+                                .map(suv_verify::protocol::ProtocolMutation::name)
+                                .join("|")
+                        ))
+                    })?);
+            }
+            "--mutate-sched" => {
+                let v = value(&mut it, "--mutate-sched")?;
+                o.mutate_sched =
+                    Some(suv_verify::sched::SchedMutation::parse(v).ok_or_else(|| {
+                        CliError(format!(
+                            "--mutate-sched: unknown mutation `{v}`; try {}",
+                            suv_verify::sched::ALL_SCHED_MUTATIONS
+                                .map(suv_verify::sched::SchedMutation::name)
+                                .join("|")
+                        ))
+                    })?);
+            }
+            "--max-states" => {
+                let v = value(&mut it, "--max-states")?;
+                o.max_states = match v.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => return err(format!("--max-states: `{v}` is not a positive number")),
+                };
+            }
+            "--out" => o.out.clone_from(value(&mut it, "--out")?),
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
 /// Parse a full `suvtm` argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match args.first().map(String::as_str) {
@@ -367,6 +456,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
         }
         Some("bench") => Ok(Command::Bench(parse_bench_opts(&args[1..], false)?)),
+        Some("verify") => Ok(Command::Verify(parse_verify_opts(&args[1..])?)),
         Some("list") => {
             if let Some(extra) = args.get(1) {
                 return err(format!("list takes no arguments (got `{extra}`)"));
@@ -559,5 +649,58 @@ mod tests {
     fn json_is_run_only() {
         let e = parse(&args("sweep --app kmeans --json")).expect_err("must reject");
         assert!(e.0.contains("--json"), "{e}");
+    }
+
+    #[test]
+    fn verify_defaults_and_flags_parse() {
+        match parse(&args("verify")).expect("valid") {
+            Command::Verify(o) => {
+                assert_eq!(o.engine, suv_verify::VerifyEngine::Both);
+                assert!(o.scheme.is_none());
+                assert!(o.mutate_protocol.is_none());
+                assert!(o.mutate_sched.is_none());
+                assert_eq!(o.max_states, suv_verify::DEFAULT_MAX_STATES);
+                assert_eq!(o.out, "results/VERIFY_counterexamples.txt");
+            }
+            other => panic!("expected Verify, got {other:?}"),
+        }
+        match parse(&args(
+            "verify --engine protocol --scheme suv --mutate-protocol skip-flash \
+             --max-states 1000 --out /tmp/cex.txt",
+        ))
+        .expect("valid")
+        {
+            Command::Verify(o) => {
+                assert_eq!(o.engine, suv_verify::VerifyEngine::Protocol);
+                assert_eq!(o.scheme, Some(SchemeKind::SuvTm));
+                assert_eq!(
+                    o.mutate_protocol,
+                    Some(suv_verify::protocol::ProtocolMutation::SkipFlash)
+                );
+                assert_eq!(o.max_states, 1000);
+                assert_eq!(o.out, "/tmp/cex.txt");
+            }
+            other => panic!("expected Verify, got {other:?}"),
+        }
+        match parse(&args("verify --engine sched --mutate-sched signal-no-token")).expect("valid") {
+            Command::Verify(o) => {
+                assert_eq!(o.engine, suv_verify::VerifyEngine::Sched);
+                assert_eq!(o.mutate_sched, Some(suv_verify::sched::SchedMutation::SignalNoToken));
+            }
+            other => panic!("expected Verify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_rejects_bad_values_with_candidates() {
+        let e = parse(&args("verify --engine bogus")).expect_err("must reject");
+        assert!(e.0.contains("protocol|sched|both"), "{e}");
+        let e = parse(&args("verify --mutate-protocol bogus")).expect_err("must reject");
+        assert!(e.0.contains("skip-flash"), "{e}");
+        let e = parse(&args("verify --mutate-sched bogus")).expect_err("must reject");
+        assert!(e.0.contains("signal-no-token"), "{e}");
+        let e = parse(&args("verify --max-states 0")).expect_err("must reject");
+        assert!(e.0.contains("--max-states"), "{e}");
+        assert!(parse(&args("verify --bogus")).is_err());
     }
 }

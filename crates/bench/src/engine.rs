@@ -76,7 +76,7 @@ pub fn matrix(apps: &[String], schemes: &[SchemeKind], core_counts: &[usize]) ->
 
 /// The default bench axes: all eight STAMP workloads under every scheme.
 pub fn default_axes() -> (Vec<String>, Vec<SchemeKind>) {
-    let apps = suv::stamp::WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect();
+    let apps = suv::stamp::WORKLOAD_NAMES.iter().map(std::string::ToString::to_string).collect();
     let schemes = vec![
         SchemeKind::LogTmSe,
         SchemeKind::FasTm,
@@ -290,17 +290,14 @@ pub fn previous_ok_row(doc: &str, key: &str) -> Option<(String, u64)> {
     let start = doc.find(&needle)?;
     let row = balanced_object(&doc[start..])?;
     // The first "cycles" field inside the row belongs to its "run" object.
-    let cycles = row
-        .find("\"cycles\":")
-        .map(|i| {
-            row[i + 9..]
-                .chars()
-                .take_while(char::is_ascii_digit)
-                .collect::<String>()
-                .parse::<u64>()
-                .unwrap_or(0)
-        })
-        .unwrap_or(0);
+    let cycles = row.find("\"cycles\":").map_or(0, |i| {
+        row[i + 9..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap_or(0)
+    });
     Some((row.to_string(), cycles))
 }
 

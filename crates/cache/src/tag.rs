@@ -76,16 +76,13 @@ impl<M: Clone + Default> TagArray<M> {
         self.tick += 1;
         let tick = self.tick;
         let s = self.set_of(line);
-        match self.sets[s].iter_mut().find(|w| w.line == line) {
-            Some(w) => {
-                w.lru = tick;
-                self.hits += 1;
-                Some(&mut w.meta)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+            w.lru = tick;
+            self.hits += 1;
+            Some(&mut w.meta)
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
@@ -96,17 +93,14 @@ impl<M: Clone + Default> TagArray<M> {
         self.tick += 1;
         let tick = self.tick;
         let s = self.set_of(line);
-        match self.sets[s].iter_mut().find(|w| w.line == line) {
-            Some(w) => {
-                w.lru = tick;
-                w.dirty = true;
-                self.hits += 1;
-                Some(&mut w.meta)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+            w.lru = tick;
+            w.dirty = true;
+            self.hits += 1;
+            Some(&mut w.meta)
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
@@ -219,7 +213,7 @@ impl<M: Clone + Default> TagArray<M> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.sets.iter().map(std::vec::Vec::len).sum()
     }
 
     /// True when no lines are resident.

@@ -72,13 +72,13 @@ pub fn storage_per_core_kb(
 pub fn worst_case_power_w(n_cores: u32, clock_ghz: f64, nm: u32) -> f64 {
     let node = TechNode::by_nm(nm).expect("known node");
     let e = estimate_fa(&ArrayConfig::paper_l1_table(), &node);
-    0.5 * (e.read_nj + e.write_nj) * n_cores as f64 * clock_ghz
+    0.5 * (e.read_nj + e.write_nj) * f64::from(n_cores) * clock_ghz
 }
 
 /// §V.C's chip-wide first-level table area, halved like the energy bound.
 pub fn tables_area_mm2(n_cores: u32, nm: u32) -> f64 {
     let node = TechNode::by_nm(nm).expect("known node");
-    0.5 * n_cores as f64 * estimate_fa(&ArrayConfig::paper_l1_table(), &node).area_mm2
+    0.5 * f64::from(n_cores) * estimate_fa(&ArrayConfig::paper_l1_table(), &node).area_mm2
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use suv_types::{Addr, CheckLevel, Cycle, MachineConfig};
 
 /// One stimulus to the memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stimulus {
+pub enum Stimulus {
     Load,
     Store,
     /// Drop the core's own copy (eviction / FasTM abort-invalidate).
@@ -31,7 +31,7 @@ enum Stimulus {
 }
 
 /// `(core, addr, stimulus)`.
-type Op = (usize, Addr, Stimulus);
+pub type Op = (usize, Addr, Stimulus);
 
 /// Result of a reachability enumeration.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +68,21 @@ impl MesiReport {
 /// search; hitting it sets [`MesiReport::truncated`] rather than silently
 /// passing.
 pub fn enumerate(cfg: &MachineConfig, lines: &[Addr], max_states: usize) -> MesiReport {
+    enumerate_mutated(cfg, lines, max_states, &|_, _| {})
+}
+
+/// [`enumerate`] with a seeded-corruption hook: after each newly reached
+/// state is fingerprinted (so the search shape is unaffected), `corrupt`
+/// may mutate the system — keyed on the op path that reached it — before
+/// the invariant audit runs. This is the checker's self-test surface: a
+/// hook that breaks one MESI transition must surface as a reported
+/// violation, or the audit is vacuous.
+pub fn enumerate_mutated(
+    cfg: &MachineConfig,
+    lines: &[Addr],
+    max_states: usize,
+    corrupt: &dyn Fn(&mut MemorySystem, &[Op]),
+) -> MesiReport {
     let mut cfg = *cfg;
     // The enumeration collects violations itself; the in-fill assertions
     // would panic on the first one instead.
@@ -156,7 +171,7 @@ pub fn enumerate(cfg: &MachineConfig, lines: &[Addr], max_states: usize) -> Mesi
         for &op in &ops {
             let mut path = base_path.clone();
             path.push(op);
-            let sys = replay(&cfg, &path);
+            let mut sys = replay(&cfg, &path);
             report.transitions += 1;
             let fp = fingerprint(&sys, lines);
             if seen.contains_key(&fp) {
@@ -167,6 +182,7 @@ pub fn enumerate(cfg: &MachineConfig, lines: &[Addr], max_states: usize) -> Mesi
             seen.insert(fp, new_idx);
             queue.push_back(new_idx);
             report.states_explored += 1;
+            corrupt(&mut sys, &path);
             if let Err(v) = sys.check_invariants() {
                 report.violations.push(format!("{v}; reached via {path:?}"));
                 if report.violations.len() >= 16 {
@@ -222,6 +238,88 @@ mod tests {
         tiny.l1.ways = 2;
         let r = enumerate(&tiny, &[0x0, 0x40, 0x80], 50_000);
         assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+
+    /// The eviction-vs-invalidation race: core 0 upgrades a shared line
+    /// to Modified (which invalidates core 1's copy) while core 1 evicts
+    /// the same line. The atomic model serializes the race into its two
+    /// orders; both must keep the directory and the L1s consistent — in
+    /// particular, the loser's late `invalidate_local` of an
+    /// already-invalidated line must be a no-op, not a second
+    /// `remove_sharer` that corrupts the entry.
+    #[test]
+    fn eviction_racing_remote_invalidation_is_clean() {
+        for evict_first in [true, false] {
+            let mut cfg = MachineConfig::small_test();
+            cfg.check = CheckLevel::Off;
+            let mut sys = MemorySystem::new(&cfg);
+            // Both cores read the line: S/S.
+            sys.fill(0, 1, 0x40, AccessKind::Load);
+            sys.fill(100, 0, 0x40, AccessKind::Load);
+            assert_eq!(sys.l1_state(1, 0x40), Some(Mesi::Shared));
+            if evict_first {
+                sys.invalidate_local(1, 0x40);
+                sys.fill(200, 0, 0x40, AccessKind::Store);
+            } else {
+                sys.fill(200, 0, 0x40, AccessKind::Store);
+                // Core 1's copy is already gone; its queued eviction
+                // arrives late and must change nothing.
+                assert_eq!(sys.l1_state(1, 0x40), None);
+                let before = sys.dir_entry(0x40);
+                sys.invalidate_local(1, 0x40);
+                let after = sys.dir_entry(0x40);
+                assert_eq!(before.sharers, after.sharers, "late evict must be a no-op");
+                assert_eq!(before.owner, after.owner);
+            }
+            sys.check_invariants().unwrap_or_else(|v| panic!("evict_first={evict_first}: {v}"));
+            assert_eq!(sys.l1_state(0, 0x40), Some(Mesi::Modified));
+            assert_eq!(sys.l1_state(1, 0x40), None);
+        }
+    }
+
+    /// An eviction of a *dirty* line while another core's fill is about
+    /// to pull it: the write-back path and the subsequent fill must agree
+    /// on the directory state at every step.
+    #[test]
+    fn dirty_eviction_before_remote_fill_is_clean() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.check = CheckLevel::Off;
+        let mut sys = MemorySystem::new(&cfg);
+        sys.fill(0, 0, 0x40, AccessKind::Store);
+        assert_eq!(sys.l1_state(0, 0x40), Some(Mesi::Modified));
+        sys.writeback_line(100, 0, 0x40);
+        sys.invalidate_local(0, 0x40);
+        sys.check_invariants().expect("clean after dirty eviction");
+        sys.fill(200, 1, 0x40, AccessKind::Load);
+        sys.check_invariants().expect("clean after the racing fill");
+        assert_eq!(sys.l1_state(0, 0x40), None);
+        assert!(sys.l1_state(1, 0x40).is_some());
+    }
+
+    /// Checker self-test: corrupt exactly one MESI transition (the
+    /// directory silently forgets core 1's sharer bit right after core 1
+    /// gains Modified) and require the audit to report it with the op
+    /// path. A reachability pass that stays green under a seeded protocol
+    /// bug would be vacuous.
+    #[test]
+    fn seeded_drop_sharer_bug_is_reported() {
+        let cfg = MachineConfig::small_test();
+        let r = enumerate_mutated(&cfg, &[0x0, 0x40], 50_000, &|sys, path| {
+            if path.last() == Some(&(1, 0x0, Stimulus::Store)) {
+                sys.inject_drop_sharer(0x0, 1);
+            }
+        });
+        assert!(!r.violations.is_empty(), "seeded drop-sharer bug not reported");
+        // Dropping the M-holder's directory record trips the owner check
+        // (INV-4) first; a pure sharer-bit loss would surface as INV-3.
+        // Either way the report must carry the reproducing op path.
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| (v.contains("INV-3") || v.contains("INV-4")) && v.contains("reached via")),
+            "violation must name the invariant and carry the reproducing path: {:?}",
+            r.violations
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl EntryState {
     pub const DEAD: EntryState = EntryState { global: false, valid: false };
 
     /// Apply the commit flash transition.
+    #[must_use]
     pub fn on_commit(self) -> EntryState {
         if self.valid {
             EntryState { global: true, valid: true }
@@ -42,6 +43,7 @@ impl EntryState {
     }
 
     /// Apply the abort flash transition.
+    #[must_use]
     pub fn on_abort(self) -> EntryState {
         if self.global {
             EntryState { global: true, valid: true }
@@ -77,8 +79,10 @@ impl PackedEntry {
         assert!(l1_set < 128, "7-bit L1 set index");
         assert!(tlb_index < 64, "6-bit TLB index");
         assert!(page_line < 128, "7-bit in-page offset (64 lines/page + spare)");
-        let st = ((state.global as u32) << 1) | state.valid as u32;
-        PackedEntry((l1_set as u32) << 15 | st << 13 | (tlb_index as u32) << 7 | page_line as u32)
+        let st = (u32::from(state.global) << 1) | u32::from(state.valid);
+        PackedEntry(
+            u32::from(l1_set) << 15 | st << 13 | u32::from(tlb_index) << 7 | u32::from(page_line),
+        )
     }
 
     /// L1 data-cache set index bits (identify the original address
@@ -167,7 +171,7 @@ mod tests {
     #[test]
     fn paper_storage_arithmetic() {
         // §V.C: (2Kb + 2Kb + 22b x 512) / 8 = 1.875 KB per core.
-        let bits = 2048 + 2048 + PackedEntry::BITS as u64 * 512;
+        let bits = 2048 + 2048 + u64::from(PackedEntry::BITS) * 512;
         assert_eq!(bits % 8, 0);
         let kb = bits as f64 / 8.0 / 1024.0;
         assert!((kb - 1.875).abs() < 1e-9, "per-core cost {kb} KB != 1.875 KB");

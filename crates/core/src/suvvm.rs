@@ -115,7 +115,7 @@ impl SuvVm {
             Some(h) => match (in_tx, h.own) {
                 (true, Some(Transient::New { slot })) => slot + off,
                 (true, Some(Transient::DeleteGlobal)) => addr,
-                _ => h.committed.map(|p| p + off).unwrap_or(addr),
+                _ => h.committed.map_or(addr, |p| p + off),
             },
         };
         (target, lat)
@@ -219,7 +219,7 @@ impl VersionManager for SuvVm {
             (None, 0)
         };
         let committed = hit.and_then(|h| h.committed);
-        let foreign_delete = hit.map(|h| h.foreign_delete).unwrap_or(false);
+        let foreign_delete = hit.is_some_and(|h| h.foreign_delete);
         if self.irrevocable[core] && (committed.is_none() || foreign_delete) {
             // Irrevocable mode with no redirect-back opportunity: write in
             // place at the current version's location, with no transient
@@ -247,9 +247,8 @@ impl VersionManager for SuvVm {
                 // New redirection into a fresh pool slot; a dry pool
                 // surfaces as Overflow with no bookkeeping done (INV-12:
                 // nothing to leak across the resulting abort).
-                let (slot, fresh_page) = match self.pool.try_alloc_slot() {
-                    Ok(s) => s,
-                    Err(_) => return (StoreTarget::Overflow, lat),
+                let Ok((slot, fresh_page)) = self.pool.try_alloc_slot() else {
+                    return (StoreTarget::Overflow, lat);
                 };
                 env.tracer.emit(env.now, core, TraceEvent::PoolAlloc { fresh_page });
                 if fresh_page {

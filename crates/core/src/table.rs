@@ -643,7 +643,7 @@ mod prop_tests {
             let mut sum = SummarySignature::new(256, 2);
             let mut pool = PoolAllocator::new(Region::pool());
             // Model: line -> currently redirected?
-            let mut model: std::collections::HashMap<u64, bool> = Default::default();
+            let mut model = std::collections::HashMap::<u64, bool>::new();
             for (lines, commit) in txs {
                 let mut touched = std::collections::HashSet::new();
                 for l in lines {
@@ -675,7 +675,7 @@ mod prop_tests {
                 // Check the committed view against the model.
                 for (line, redirected) in &model {
                     let (hit, _) = t.lookup(0, *line);
-                    let has = hit.map(|h| h.committed.is_some()).unwrap_or(false);
+                    let has = hit.is_some_and(|h| h.committed.is_some());
                     prop_assert_eq!(has, *redirected, "line {:#x}", line);
                     if *redirected {
                         prop_assert!(sum.contains(*line), "summary superset violated");

@@ -145,10 +145,10 @@ impl Mesh {
         let mut t = now;
         let mut cur = a;
         while cur != b {
-            let next = if cur.x != b.x {
-                Node { x: if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
-            } else {
+            let next = if cur.x == b.x {
                 Node { x: cur.x, y: if b.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
+            } else {
+                Node { x: if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
             };
             let link = self.link_id(cur, next);
             let free = self.busy_until[link];

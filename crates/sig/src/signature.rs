@@ -112,7 +112,7 @@ impl Signature {
 
     /// Occupancy: fraction of bits set.
     pub fn fill(&self) -> f64 {
-        self.bits.count_ones() as f64 / self.bits.len() as f64
+        f64::from(self.bits.count_ones()) / self.bits.len() as f64
     }
 
     /// Borrow the underlying bits (for the summary signature OR update).

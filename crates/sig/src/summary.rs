@@ -179,28 +179,28 @@ mod tests {
                     }
                 }
             }
-            fn as_u8(bits: &[bool; 8]) -> u8 {
-                bits.iter().enumerate().map(|(i, b)| (*b as u8) << i).sum()
+            fn as_u8(bits: [bool; 8]) -> u8 {
+                bits.iter().enumerate().map(|(i, b)| u8::from(*b) << i).sum()
             }
         }
         let mut m = Mirror::default();
         // Initialization: all zero.
-        assert_eq!(Mirror::as_u8(&m.sig), 0b0000_0000);
+        assert_eq!(Mirror::as_u8(m.sig), 0b0000_0000);
         // Adding @1: H1=1, H2=3 -> sig {1,3}, once {1,3}.
         m.add([h1(1), h2(1)]);
-        assert_eq!(Mirror::as_u8(&m.sig), 0b0000_1010);
-        assert_eq!(Mirror::as_u8(&m.once), 0b0000_1010);
+        assert_eq!(Mirror::as_u8(m.sig), 0b0000_1010);
+        assert_eq!(Mirror::as_u8(m.once), 0b0000_1010);
         // Adding @3: H1=3, H2=5 -> sig {1,3,5}; bit 3 no longer unique.
         m.add([h1(3), h2(3)]);
-        assert_eq!(Mirror::as_u8(&m.sig), 0b0010_1010);
-        assert_eq!(Mirror::as_u8(&m.once), 0b0010_0010);
+        assert_eq!(Mirror::as_u8(m.sig), 0b0010_1010);
+        assert_eq!(Mirror::as_u8(m.once), 0b0010_0010);
         // Inquiring @1 changes nothing.
         assert!(m.sig[h1(1)] && m.sig[h2(1)]);
-        assert_eq!(Mirror::as_u8(&m.sig), 0b0010_1010);
+        assert_eq!(Mirror::as_u8(m.sig), 0b0010_1010);
         // Deleting @1: unique bit 1 cleared; shared bit 3 stays.
         m.delete([h1(1), h2(1)]);
-        assert_eq!(Mirror::as_u8(&m.sig), 0b0010_1000);
-        assert_eq!(Mirror::as_u8(&m.once), 0b0010_0000);
+        assert_eq!(Mirror::as_u8(m.sig), 0b0010_1000);
+        assert_eq!(Mirror::as_u8(m.once), 0b0010_0000);
         // @3 still tests positive (superset property).
         assert!(m.sig[h1(3)] && m.sig[h2(3)]);
     }

@@ -433,29 +433,26 @@ impl ThreadCtx {
 
             let result = body(&mut Tx { ctx: self });
 
-            let committed = match result {
-                Ok(()) => {
-                    self.sync();
-                    let out = self.machine.m().commit_tx(self.now, self.tid);
-                    match out {
-                        CommitOutcome::Committed { latency, committing } => {
-                            self.in_tx = false;
-                            self.breakdown.add(BreakdownKind::Trans, self.attempt_trans);
-                            self.spend(BreakdownKind::Trans, latency - committing);
-                            self.spend(BreakdownKind::Committing, committing);
-                            true
-                        }
-                        CommitOutcome::MustAbort { latency } => {
-                            self.spend(BreakdownKind::Stalled, latency);
-                            self.do_abort();
-                            false
-                        }
+            let committed = if let Ok(()) = result {
+                self.sync();
+                let out = self.machine.m().commit_tx(self.now, self.tid);
+                match out {
+                    CommitOutcome::Committed { latency, committing } => {
+                        self.in_tx = false;
+                        self.breakdown.add(BreakdownKind::Trans, self.attempt_trans);
+                        self.spend(BreakdownKind::Trans, latency - committing);
+                        self.spend(BreakdownKind::Committing, committing);
+                        true
+                    }
+                    CommitOutcome::MustAbort { latency } => {
+                        self.spend(BreakdownKind::Stalled, latency);
+                        self.do_abort();
+                        false
                     }
                 }
-                Err(Abort) => {
-                    self.do_abort();
-                    false
-                }
+            } else {
+                self.do_abort();
+                false
             };
             if committed {
                 if irrevocable {

@@ -94,7 +94,7 @@ impl FaultInjector {
 
     /// Draw a percentage roll.
     fn roll(&mut self, pct: u8) -> bool {
-        pct > 0 && (self.rng.next_u64() % 100) < pct as u64
+        pct > 0 && (self.rng.next_u64() % 100) < u64::from(pct)
     }
 
     /// Should this transactional access be hit with a spurious NACK?

@@ -283,9 +283,10 @@ impl Scheduler {
     pub fn wait_token(&self, tid: usize) {
         let gate = &self.gates[tid];
         while !gate.token.swap(false, Ordering::Acquire) {
-            if self.poisoned.load(Ordering::Acquire) {
-                panic!("scheduler poisoned: a sibling worker panicked");
-            }
+            assert!(
+                !self.poisoned.load(Ordering::Acquire),
+                "scheduler poisoned: a sibling worker panicked"
+            );
             std::thread::park();
         }
     }
@@ -330,9 +331,8 @@ impl Scheduler {
         if g.barrier_waiters.len() + g.finished == g.n {
             g.release_barrier();
         }
-        let next = match g.queue.pop() {
-            Some(Reverse((_, next))) => next,
-            None => unreachable!("barrier with no runnable thread and waiters pending"),
+        let Some(Reverse((_, next))) = g.queue.pop() else {
+            unreachable!("barrier with no runnable thread and waiters pending")
         };
         self.horizon.store(g.horizon(), Ordering::Relaxed);
         if next != tid {
@@ -469,8 +469,8 @@ mod tests {
                     sched.wait_start(tid);
                     let t = 100 * (tid as u64 + 1); // arrive at 100..400
                     sched.sync(tid, t);
-                    let released = sched.barrier(tid, t);
-                    releases.lock().push(released);
+                    let observed = sched.barrier(tid, t);
+                    releases.lock().push(observed);
                     sched.finish(tid);
                 });
             }

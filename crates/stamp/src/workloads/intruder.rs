@@ -78,7 +78,7 @@ impl Workload for Intruder {
                 // Reassembly: set this fragment's bit in the flow mask.
                 let mask = flows.get(tx, flow)?.unwrap_or(0) | (1 << frag);
                 flows.insert(tx, flow, mask)?;
-                if mask.count_ones() as u64 == FRAGS {
+                if u64::from(mask.count_ones()) == FRAGS {
                     let n = tx.load(completed)?;
                     tx.store(completed, n + 1)?;
                     detected = true;

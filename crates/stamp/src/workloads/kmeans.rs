@@ -82,7 +82,7 @@ impl Workload for KMeans {
         let per = self.n_points.div_ceil(self.threads as u64);
         let lo = tid as u64 * per;
         let hi = (lo + per).min(self.n_points);
-        for _iter in 0..self.iterations {
+        for iter_idx in 0..self.iterations {
             // Snapshot the centroids (read-only this phase).
             let mut cents = vec![0u64; (self.k * self.dims) as usize];
             for (i, c) in cents.iter_mut().enumerate() {
@@ -128,7 +128,7 @@ impl Workload for KMeans {
             if tid == 0 {
                 // Recompute centroids; keep the final iteration's counts
                 // for verification.
-                let last = _iter + 1 == self.iterations;
+                let last = iter_idx + 1 == self.iterations;
                 for c in 0..self.k {
                     let base = self.accum_base(c);
                     let n = ctx.load(base + self.dims * 8).max(1);

@@ -1,6 +1,6 @@
 //! Chrome-trace / Perfetto JSON export.
 //!
-//! Produces the ["Trace Event Format"] JSON object form:
+//! Produces the [Trace Event Format] JSON object form:
 //! `{"traceEvents": [...]}`. Load the file at `chrome://tracing` or
 //! <https://ui.perfetto.dev>. Mapping:
 //!
@@ -16,7 +16,7 @@
 //! Timestamps are simulated cycles reported as microseconds — absolute
 //! units don't matter for inspection, relative ones do.
 //!
-//! ["Trace Event Format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use crate::event::{TraceEvent, TraceRecord};
 use crate::json::Json;
@@ -69,7 +69,7 @@ pub fn chrome_trace_json(records: &[TraceRecord], n_cores: usize, dropped: u64) 
                     rec.t + window - tx.t,
                     rec.core,
                     vec![
-                        ("site".to_string(), Json::U64(tx.site as u64)),
+                        ("site".to_string(), Json::U64(u64::from(tx.site))),
                         ("lazy".to_string(), Json::Bool(tx.lazy)),
                         ("outcome".to_string(), Json::from("commit")),
                         ("committing".to_string(), Json::U64(committing)),
@@ -85,7 +85,7 @@ pub fn chrome_trace_json(records: &[TraceRecord], n_cores: usize, dropped: u64) 
                     rec.t + window - tx.t,
                     rec.core,
                     vec![
-                        ("site".to_string(), Json::U64(tx.site as u64)),
+                        ("site".to_string(), Json::U64(u64::from(tx.site))),
                         ("lazy".to_string(), Json::Bool(tx.lazy)),
                         ("outcome".to_string(), Json::from("abort")),
                     ],
@@ -139,7 +139,7 @@ pub fn chrome_trace_json(records: &[TraceRecord], n_cores: usize, dropped: u64) 
                         args.push(("line".to_string(), Json::U64(line)));
                     }
                     TraceEvent::Nack { requester, must_abort } => {
-                        args.push(("requester".to_string(), Json::U64(requester as u64)));
+                        args.push(("requester".to_string(), Json::U64(u64::from(requester))));
                         args.push(("must_abort".to_string(), Json::Bool(must_abort)));
                     }
                     TraceEvent::UndoWalk { entries } => {
@@ -174,7 +174,7 @@ pub fn chrome_trace_json(records: &[TraceRecord], n_cores: usize, dropped: u64) 
                 "tx_begin_unclosed",
                 tx.t,
                 core,
-                vec![("site".to_string(), Json::U64(tx.site as u64))],
+                vec![("site".to_string(), Json::U64(u64::from(tx.site)))],
             ));
         }
     }

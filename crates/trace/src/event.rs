@@ -289,10 +289,12 @@ impl TraceEvent {
     /// field so any behavioural divergence changes the hash).
     pub fn payload(&self) -> (u64, u64) {
         match *self {
-            TraceEvent::TxBegin { site, lazy } => (site as u64, lazy as u64),
+            TraceEvent::TxBegin { site, lazy } => (u64::from(site), u64::from(lazy)),
             TraceEvent::TxRead { line } => (line, 0),
             TraceEvent::TxWrite { line } => (line, 0),
-            TraceEvent::Nack { requester, must_abort } => (requester as u64, must_abort as u64),
+            TraceEvent::Nack { requester, must_abort } => {
+                (u64::from(requester), u64::from(must_abort))
+            }
             TraceEvent::Stall { line, cycles } => (line, cycles),
             TraceEvent::TxAbort { window } => (window, 0),
             TraceEvent::TxCommit { window, committing } => (window, committing),
@@ -302,7 +304,7 @@ impl TraceEvent {
             TraceEvent::GangInvalidate { lines } => (lines, 0),
             TraceEvent::WriteBufferDrain { lines } => (lines, 0),
             TraceEvent::RedirectLookup { level } => (level.id(), 0),
-            TraceEvent::PoolAlloc { fresh_page } => (fresh_page as u64, 0),
+            TraceEvent::PoolAlloc { fresh_page } => (u64::from(fresh_page), 0),
             TraceEvent::RedirectBack => (0, 0),
             TraceEvent::TableSwapOut { line } => (line, 0),
             TraceEvent::L1Miss { line } => (line, 0),
@@ -310,9 +312,9 @@ impl TraceEvent {
             TraceEvent::SpecEviction { line } => (line, 0),
             TraceEvent::BarrierWait { cycles } => (cycles, 0),
             TraceEvent::OverflowAbort { line } => (line, 0),
-            TraceEvent::WatchdogEscalation { reason } => (reason as u64, 0),
+            TraceEvent::WatchdogEscalation { reason } => (u64::from(reason), 0),
             TraceEvent::IrrevocableCommit { window } => (window, 0),
-            TraceEvent::FaultInjected { kind, cycles } => (kind as u64, cycles),
+            TraceEvent::FaultInjected { kind, cycles } => (u64::from(kind), cycles),
         }
     }
 
@@ -379,11 +381,11 @@ mod tests {
             TraceEvent::IrrevocableCommit { window: 0 },
             TraceEvent::FaultInjected { kind: 0, cycles: 0 },
         ];
-        let mut ids: Vec<u64> = events.iter().map(|e| e.kind_id()).collect();
+        let mut ids: Vec<u64> = events.iter().map(super::TraceEvent::kind_id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), events.len(), "duplicate kind ids");
-        let mut names: Vec<&str> = events.iter().map(|e| e.kind_name()).collect();
+        let mut names: Vec<&str> = events.iter().map(super::TraceEvent::kind_name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), events.len(), "duplicate kind names");

@@ -63,7 +63,7 @@ impl LatencyHistogram {
         if v < SUB as u64 {
             return v as usize; // group 0: exact
         }
-        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let msb = v.ilog2(); // >= SUB_BITS
         let group = (msb - SUB_BITS + 1) as usize;
         let within = ((v >> (group - 1)) as usize) - SUB;
         group * SUB + within

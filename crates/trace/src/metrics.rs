@@ -157,13 +157,12 @@ impl MetricsRegistry {
 
     /// Record `v` into histogram `name` (created on first use).
     pub fn observe(&mut self, name: &str, v: u64) {
-        match self.histograms.get_mut(name) {
-            Some(h) => h.observe(v),
-            None => {
-                let mut h = Histogram::default();
-                h.observe(v);
-                self.histograms.insert(name.to_string(), h);
-            }
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
         }
     }
 

@@ -71,7 +71,7 @@ pub fn summary_report(out: &TraceOutput, top_n: usize) -> String {
     if !by_line.is_empty() {
         let mut lines: Vec<_> = by_line.into_iter().collect();
         lines.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
-        s.push_str(&format!("\ntop {} conflict lines (stalls, stall cycles):\n", top_n));
+        s.push_str(&format!("\ntop {top_n} conflict lines (stalls, stall cycles):\n"));
         for (line, (n, cyc)) in lines.into_iter().take(top_n) {
             s.push_str(&format!("  {line:#012x}  {n:>8}  {cyc:>12}\n"));
         }
@@ -89,7 +89,7 @@ pub fn summary_report(out: &TraceOutput, top_n: usize) -> String {
                 .cmp(&site_aborts.get(a).copied().unwrap_or(0))
                 .then(a.cmp(b))
         });
-        s.push_str(&format!("\ntop {} sites (aborts / commits in retained window):\n", top_n));
+        s.push_str(&format!("\ntop {top_n} sites (aborts / commits in retained window):\n"));
         for site in sites.into_iter().take(top_n) {
             s.push_str(&format!(
                 "  site {site:<6} {:>8} / {:>8}\n",

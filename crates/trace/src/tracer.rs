@@ -49,7 +49,7 @@ impl std::fmt::Debug for Tracer {
             .field("enabled", &self.enabled)
             .field("events", &self.events)
             .field("hash", &self.hash)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -115,7 +115,7 @@ impl Tracer {
         let mut h = self.hash;
         for word in [t, core as u64, kind, p0, p1] {
             for byte in word.to_le_bytes() {
-                h ^= byte as u64;
+                h ^= u64::from(byte);
                 h = h.wrapping_mul(FNV_PRIME);
             }
         }

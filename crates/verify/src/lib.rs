@@ -1,0 +1,168 @@
+//! `suv-verify` — exhaustive small-scope model checkers for the SUV HTM
+//! reproduction.
+//!
+//! Two engines over one generic explorer ([`explore`]):
+//!
+//! * [`protocol`] — the protocol product machine: {2 cores × 2 addresses}
+//!   × MESI × tx read/write sets × redirect-entry lifecycle, parameterized
+//!   by all six schemes, with safety predicates subsuming the runtime
+//!   invariants INV-5..INV-10 and liveness via deadlock detection.
+//! * [`sched`] — the scheduler handoff protocol (horizon word, gate
+//!   token, park/unpark, poison, irrevocable token) explored over all
+//!   interleavings of 2–4 threads with a sleep-set (DPOR-style)
+//!   reduction.
+//!
+//! Both print minimal counterexamples in the `suv-trace` event
+//! vocabulary. [`run_verify`] is the shared entry point behind
+//! `suvtm verify` and `cargo xtask verify`; seeded mutations
+//! ([`protocol::ProtocolMutation`], [`sched::SchedMutation`]) let CI and
+//! tests prove the checkers actually catch bugs.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod protocol;
+pub mod sched;
+
+pub use explore::{explore, explore_dpor, Counterexample, DporModel, ExploreReport, Model};
+
+use protocol::{ProtocolMutation, ALL_SCHEMES};
+use sched::{SchedMutation, SCENARIOS};
+use suv_types::SchemeKind;
+
+/// Default state budget: far above the ~10^5 reachable states at the
+/// 2×2 scope, so exhausting it means the model changed shape.
+pub const DEFAULT_MAX_STATES: usize = 4_000_000;
+
+/// Which engines to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyEngine {
+    Protocol,
+    Sched,
+    Both,
+}
+
+/// What to verify.
+pub struct VerifyRequest {
+    pub engine: VerifyEngine,
+    /// Restrict the protocol engine to one scheme (None = all six).
+    pub scheme: Option<SchemeKind>,
+    /// Seed a protocol mutation (the checker must then *fail*).
+    pub protocol_mutation: Option<ProtocolMutation>,
+    /// Seed a scheduler mutation (the checker must then *fail*).
+    pub sched_mutation: Option<SchedMutation>,
+    /// State budget per exploration.
+    pub max_states: usize,
+}
+
+impl Default for VerifyRequest {
+    fn default() -> Self {
+        VerifyRequest {
+            engine: VerifyEngine::Both,
+            scheme: None,
+            protocol_mutation: None,
+            sched_mutation: None,
+            max_states: DEFAULT_MAX_STATES,
+        }
+    }
+}
+
+/// One exploration's outcome, ready for printing.
+pub struct VerifyRun {
+    /// "protocol" or "sched".
+    pub engine: &'static str,
+    /// Scheme name or scenario label.
+    pub subject: String,
+    pub report: ExploreReport,
+}
+
+impl VerifyRun {
+    pub fn ok(&self) -> bool {
+        self.report.ok()
+    }
+
+    /// One status line (plus rendered counterexamples on failure).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "[{}] {:<24} {:>8} states {:>9} transitions{}{}\n",
+            if self.ok() { "PASS" } else { "FAIL" },
+            self.subject,
+            self.report.states,
+            self.report.transitions,
+            if self.report.slept > 0 {
+                format!(" ({} slept)", self.report.slept)
+            } else {
+                String::new()
+            },
+            if self.report.truncated { " TRUNCATED" } else { "" },
+        );
+        for v in &self.report.violations {
+            s.push_str(&v.render());
+        }
+        s
+    }
+}
+
+/// Run the requested verifications. Deterministic order: protocol by
+/// scheme (CLI order), then scheduler by scenario.
+pub fn run_verify(req: &VerifyRequest) -> Vec<VerifyRun> {
+    let mut runs = Vec::new();
+    if matches!(req.engine, VerifyEngine::Protocol | VerifyEngine::Both) {
+        let schemes: Vec<SchemeKind> = match req.scheme {
+            Some(s) => vec![s],
+            None => ALL_SCHEMES.to_vec(),
+        };
+        for scheme in schemes {
+            let report = protocol::check_protocol(scheme, req.protocol_mutation, req.max_states);
+            runs.push(VerifyRun { engine: "protocol", subject: scheme.name().to_string(), report });
+        }
+    }
+    if matches!(req.engine, VerifyEngine::Sched | VerifyEngine::Both) {
+        for sc in SCENARIOS {
+            let report = sched::check_sched(sc, req.sched_mutation, req.max_states);
+            runs.push(VerifyRun { engine: "sched", subject: sc.label(), report });
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_clean_run_passes() {
+        let runs = run_verify(&VerifyRequest::default());
+        assert_eq!(runs.len(), ALL_SCHEMES.len() + SCENARIOS.len());
+        for r in &runs {
+            assert!(r.ok(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn scheme_filter_narrows_protocol_runs() {
+        let req = VerifyRequest {
+            engine: VerifyEngine::Protocol,
+            scheme: Some(SchemeKind::SuvTm),
+            ..VerifyRequest::default()
+        };
+        let runs = run_verify(&req);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].subject, "SUV-TM");
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let req = VerifyRequest {
+            engine: VerifyEngine::Protocol,
+            scheme: Some(SchemeKind::SuvTm),
+            protocol_mutation: Some(ProtocolMutation::SkipFlash),
+            ..VerifyRequest::default()
+        };
+        let runs = run_verify(&req);
+        assert!(!runs[0].ok());
+        let text = runs[0].render();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("violation:"), "{text}");
+    }
+}

@@ -1,0 +1,670 @@
+//! Engine (b): the scheduler interleaving explorer.
+//!
+//! An explicit-state model of the `suv-sim` min-time scheduler's handoff
+//! protocol (`crates/sim/src/sched.rs`): the packed horizon word, the
+//! per-thread gate token, park/unpark permit semantics, poison, and the
+//! chip-wide irrevocable token. Each thread is a small automaton:
+//!
+//! ```text
+//! Run ─work─▶ Yield ─CS─▶ SignalToken ─▶ SignalUnpark ─▶ AwaitCheck
+//!   ▲                                                      │ token?
+//!   └──────────────────────────────────────────────────────┘
+//!                AwaitCheck ─no token, no permit─▶ Parked ─permit─▶ AwaitCheck
+//! ```
+//!
+//! The horizon critical section (enqueue + min + store) is modeled as one
+//! atomic step — sound, because the real code performs exactly one horizon
+//! store per lock-protected section — while every token, permit, and
+//! poison access is its own interleavable step. Interleavings for 2–4
+//! threads are enumerated exhaustively with the sleep-set reduction from
+//! [`crate::explore::explore_dpor`]; independence is "different threads
+//! touching disjoint shared cells".
+//!
+//! Checked properties:
+//! * **deadlock-freedom** — every reachable non-terminal state has an
+//!   enabled action (the explorer's liveness rule);
+//! * **no lost wakeup** — a state where every live thread is awaiting a
+//!   grant with no token or permit in flight is reported specifically;
+//! * **handoff ordering** — horizon grants are nondecreasing in packed
+//!   `(time, id)` order, the scheduler's min-time contract;
+//! * **≤ 1 irrevocable owner** — the chip-wide irrevocable token is
+//!   never double-granted (the PR-5 escalation invariant);
+//! * **clean shutdown** — at termination (poison-free runs) the queue is
+//!   empty, the horizon is open, and the irrevocable token is released.
+//!
+//! Counterexample legend (`suv-trace` events, `core` = thread id):
+//! `barrier_wait` = run quantum (payload: Δt) · `stall` = horizon CS
+//! update (payload: new packed horizon) · `nack` = gate-token signal to
+//! successor · `backoff` = unpark permit delivery · `l1_miss` = token
+//! probe · `table_swap_out` = park call · `l2_miss` = wake from park ·
+//! `fault_injected` = poison broadcast.
+
+use crate::explore::{explore_dpor, DporModel, ExploreReport, Model};
+use suv_trace::{TraceEvent, TraceRecord};
+
+/// Maximum threads the model supports (the ISSUE scope is 2–4).
+pub const MAX_THREADS: usize = 4;
+
+/// Packed `(virtual time, thread id)` word, open when no thread waits.
+type Horizon = u16;
+const OPEN: Horizon = u16::MAX;
+
+fn pack(t: u8, id: usize) -> Horizon {
+    (u16::from(t) << 3) | id as u16
+}
+
+/// A deliberately seeded scheduler bug the explorer must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMutation {
+    /// `signal()` delivers the unpark permit but never sets the gate
+    /// token — the handoff is lost and the successor parks forever.
+    SignalNoToken,
+    /// The park call swallows an already-delivered permit without
+    /// returning — the classic lost-wakeup race.
+    ParkDropsPermit,
+    /// The horizon critical section grants the *maximum* queue entry —
+    /// a stale/wrong-order horizon violating the min-time contract.
+    StaleHorizon,
+    /// `try_acquire_irrevocable` succeeds even when the token is held —
+    /// two irrevocable owners at once.
+    IrrevocableDoubleGrant,
+}
+
+/// All seeded scheduler mutations, in CLI order.
+pub const ALL_SCHED_MUTATIONS: [SchedMutation; 4] = [
+    SchedMutation::SignalNoToken,
+    SchedMutation::ParkDropsPermit,
+    SchedMutation::StaleHorizon,
+    SchedMutation::IrrevocableDoubleGrant,
+];
+
+impl SchedMutation {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedMutation::SignalNoToken => "signal-no-token",
+            SchedMutation::ParkDropsPermit => "park-drops-permit",
+            SchedMutation::StaleHorizon => "stale-horizon",
+            SchedMutation::IrrevocableDoubleGrant => "irrevocable-double-grant",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<SchedMutation> {
+        ALL_SCHED_MUTATIONS.iter().copied().find(|m| m.name() == s)
+    }
+}
+
+/// One exploration scenario: thread count, rounds per thread, and the
+/// optional poison / irrevocable features to exercise.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedScenario {
+    /// Threads (2–4).
+    pub threads: usize,
+    /// Baton rounds each thread runs before exiting.
+    pub rounds: u8,
+    /// If set, this thread poisons the scheduler instead of its first
+    /// yield (models a panicking worker).
+    pub poison_by: Option<usize>,
+    /// Threads 0 and 1 race for the irrevocable token in their first
+    /// quantum and release it on exit.
+    pub irrevocable: bool,
+}
+
+impl SchedScenario {
+    pub fn label(&self) -> String {
+        format!(
+            "{}t x {}r{}{}",
+            self.threads,
+            self.rounds,
+            if self.poison_by.is_some() { " +poison" } else { "" },
+            if self.irrevocable { " +irrevocable" } else { "" },
+        )
+    }
+}
+
+/// The scenario matrix `verify_sched` explores: 2–4 threads, plus the
+/// poison and irrevocable variants.
+pub const SCENARIOS: [SchedScenario; 5] = [
+    SchedScenario { threads: 2, rounds: 2, poison_by: None, irrevocable: false },
+    SchedScenario { threads: 3, rounds: 2, poison_by: None, irrevocable: false },
+    SchedScenario { threads: 4, rounds: 1, poison_by: None, irrevocable: false },
+    SchedScenario { threads: 3, rounds: 2, poison_by: Some(1), irrevocable: false },
+    // Two rounds so the first owner still holds the irrevocable token
+    // when the second racer gets the baton — the overlap under test.
+    SchedScenario { threads: 2, rounds: 2, poison_by: None, irrevocable: true },
+];
+
+/// Per-thread program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Pc {
+    /// Owns the baton; about to run one quantum.
+    Run,
+    /// About to enter the horizon critical section (yield path).
+    Yield,
+    /// Set the successor's gate token.
+    SignalToken { succ: u8 },
+    /// Deliver the successor's unpark permit.
+    SignalUnpark { succ: u8 },
+    /// `wait_token` loop head: probe the token (and poison).
+    AwaitCheck,
+    /// Token probe failed; about to call park. The window between the
+    /// failed `token.swap` and the park call is where the lost-wakeup
+    /// race lives, so it gets its own state.
+    ParkDecide,
+    /// Parked; runnable only once a permit arrives.
+    Parked,
+    /// About to enter the horizon critical section (exit path).
+    Exiting,
+    /// Exit handoff: set the successor's gate token.
+    ExitSignalToken { succ: u8 },
+    /// Exit handoff: deliver the successor's unpark permit.
+    ExitSignalUnpark { succ: u8 },
+    /// Left the engine.
+    Exited,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Thread {
+    pc: Pc,
+    /// Virtual time (the packed horizon's major key).
+    t: u8,
+    /// Quanta left to run.
+    rounds: u8,
+    /// Already raced for the irrevocable token?
+    tried_irrevocable: bool,
+}
+
+/// The full scheduler state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchedState {
+    threads: [Thread; MAX_THREADS],
+    /// Queue membership: a live thread's enqueued virtual time.
+    queue: [Option<u8>; MAX_THREADS],
+    horizon: Horizon,
+    token: [bool; MAX_THREADS],
+    permit: [bool; MAX_THREADS],
+    poisoned: bool,
+    /// Irrevocable-token owner bitmap (must never exceed one bit).
+    irrevocable: u8,
+    /// Last granted packed horizon (the min-time ordering witness).
+    last_grant: Horizon,
+}
+
+/// One step of one thread. `kind` is redundant with the thread's pc but
+/// gives sleep sets a stable identity and carries the access footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedAction {
+    tid: u8,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Work,
+    YieldCs,
+    Poison,
+    TokenSet { succ: u8 },
+    UnparkSet { succ: u8 },
+    TokenCheck,
+    ParkCall,
+    Wake,
+    ExitCs,
+}
+
+/// The model: a scenario plus an optional seeded mutation.
+pub struct SchedModel {
+    pub scenario: SchedScenario,
+    pub mutation: Option<SchedMutation>,
+}
+
+impl SchedModel {
+    pub fn new(scenario: SchedScenario) -> SchedModel {
+        SchedModel { scenario, mutation: None }
+    }
+
+    pub fn mutated(scenario: SchedScenario, m: SchedMutation) -> SchedModel {
+        SchedModel { scenario, mutation: Some(m) }
+    }
+
+    fn is(&self, m: SchedMutation) -> bool {
+        self.mutation == Some(m)
+    }
+
+    fn n(&self) -> usize {
+        self.scenario.threads
+    }
+
+    /// Per-thread time advance per quantum. Lower-id threads advance
+    /// *further*, so the queue minimum keeps moving and the baton
+    /// actually ping-pongs (equal deltas would let thread 0 stay the
+    /// minimum forever and explore no handoffs).
+    fn delta(tid: usize) -> u8 {
+        (MAX_THREADS - tid) as u8
+    }
+
+    /// The queue minimum (or maximum under [`SchedMutation::StaleHorizon`])
+    /// in packed `(t, id)` order.
+    fn grant_of(&self, queue: [Option<u8>; MAX_THREADS]) -> Option<(u8, usize)> {
+        let entries =
+            queue.iter().enumerate().filter_map(|(id, t)| t.map(|t| (pack(t, id), t, id)));
+        if self.is(SchedMutation::StaleHorizon) {
+            entries.max_by_key(|e| e.0).map(|(_, t, id)| (t, id))
+        } else {
+            entries.min_by_key(|e| e.0).map(|(_, t, id)| (t, id))
+        }
+    }
+
+    /// The horizon critical section: update my queue entry (or remove it
+    /// on exit), recompute the grant, store the horizon, and check the
+    /// min-time ordering contract.
+    fn horizon_cs(
+        &self,
+        s: &mut SchedState,
+        me: usize,
+        exit: bool,
+    ) -> Result<Option<usize>, String> {
+        if exit {
+            s.queue[me] = None;
+        } else {
+            s.queue[me] = Some(s.threads[me].t);
+        }
+        if let Some((t, id)) = self.grant_of(s.queue) {
+            let packed = pack(t, id);
+            if packed < s.last_grant {
+                return Err(format!(
+                    "handoff ordering regressed: horizon granted (t={t}, id={id}) \
+                     after a grant at packed order {} — the min-time contract \
+                     (nondecreasing packed (time, id)) is broken",
+                    s.last_grant
+                ));
+            }
+            s.last_grant = packed;
+            s.horizon = packed;
+            Ok(Some(id))
+        } else {
+            s.horizon = OPEN;
+            Ok(None)
+        }
+    }
+}
+
+impl Model for SchedModel {
+    type State = SchedState;
+    type Action = SchedAction;
+
+    fn initial(&self) -> SchedState {
+        let mut s = SchedState {
+            threads: [Thread { pc: Pc::Exited, t: 0, rounds: 0, tried_irrevocable: false };
+                MAX_THREADS],
+            queue: [None; MAX_THREADS],
+            horizon: OPEN,
+            token: [false; MAX_THREADS],
+            permit: [false; MAX_THREADS],
+            poisoned: false,
+            irrevocable: 0,
+            last_grant: 0,
+        };
+        for i in 0..self.n() {
+            let t = i as u8 + 1;
+            s.threads[i] = Thread {
+                pc: Pc::AwaitCheck,
+                t,
+                rounds: self.scenario.rounds,
+                tried_irrevocable: false,
+            };
+            s.queue[i] = Some(t);
+        }
+        // The initial grant goes to the queue minimum; everyone else
+        // blocks in wait_token.
+        if let Some((t, id)) = self.grant_of(s.queue) {
+            s.horizon = pack(t, id);
+            s.last_grant = s.horizon;
+            s.threads[id].pc = Pc::Run;
+        }
+        s
+    }
+
+    fn actions(&self, s: &SchedState, out: &mut Vec<SchedAction>) {
+        for tid in 0..self.n() {
+            let th = &s.threads[tid];
+            let kind = match th.pc {
+                Pc::Run => Some(Kind::Work),
+                Pc::Yield => {
+                    if self.scenario.poison_by == Some(tid) && !s.poisoned {
+                        Some(Kind::Poison)
+                    } else {
+                        Some(Kind::YieldCs)
+                    }
+                }
+                Pc::SignalToken { succ } | Pc::ExitSignalToken { succ } => {
+                    Some(Kind::TokenSet { succ })
+                }
+                Pc::SignalUnpark { succ } | Pc::ExitSignalUnpark { succ } => {
+                    Some(Kind::UnparkSet { succ })
+                }
+                Pc::AwaitCheck => Some(Kind::TokenCheck),
+                Pc::ParkDecide => Some(Kind::ParkCall),
+                // park() blocks until an unpark permit arrives.
+                Pc::Parked => s.permit[tid].then_some(Kind::Wake),
+                Pc::Exiting => Some(Kind::ExitCs),
+                Pc::Exited => None,
+            };
+            if let Some(kind) = kind {
+                out.push(SchedAction { tid: tid as u8, kind });
+            }
+        }
+    }
+
+    fn step(&self, s: &SchedState, a: SchedAction) -> Result<SchedState, String> {
+        let mut n = *s;
+        let me = a.tid as usize;
+        match a.kind {
+            Kind::Work => {
+                let th = &mut n.threads[me];
+                th.t += Self::delta(me);
+                th.rounds -= 1;
+                th.pc = if th.rounds == 0 { Pc::Exiting } else { Pc::Yield };
+                if self.scenario.irrevocable && me < 2 && !th.tried_irrevocable {
+                    th.tried_irrevocable = true;
+                    if n.irrevocable == 0 || self.is(SchedMutation::IrrevocableDoubleGrant) {
+                        n.irrevocable |= 1 << me;
+                    }
+                }
+            }
+            Kind::YieldCs => {
+                let succ = self.horizon_cs(&mut n, me, false)?;
+                n.threads[me].pc = match succ {
+                    // Still the minimum: keep the baton.
+                    Some(id) if id == me => Pc::Run,
+                    Some(id) => Pc::SignalToken { succ: id as u8 },
+                    None => Pc::Run,
+                };
+            }
+            Kind::Poison => {
+                // poison(): raise the flag, then unpark everyone so no
+                // waiter sleeps through shutdown.
+                n.poisoned = true;
+                for i in 0..self.n() {
+                    n.permit[i] = true;
+                }
+                n.queue[me] = None;
+                n.irrevocable &= !(1 << me);
+                n.threads[me].pc = Pc::Exited;
+            }
+            Kind::TokenSet { succ } => {
+                if !self.is(SchedMutation::SignalNoToken) {
+                    n.token[succ as usize] = true;
+                }
+                n.threads[me].pc = match s.threads[me].pc {
+                    Pc::SignalToken { .. } => Pc::SignalUnpark { succ },
+                    _ => Pc::ExitSignalUnpark { succ },
+                };
+            }
+            Kind::UnparkSet { succ } => {
+                n.permit[succ as usize] = true;
+                n.threads[me].pc = match s.threads[me].pc {
+                    Pc::SignalUnpark { .. } => Pc::AwaitCheck,
+                    _ => Pc::Exited,
+                };
+            }
+            Kind::TokenCheck => {
+                if s.token[me] {
+                    // token.swap(false, Acquire) succeeded: take the baton.
+                    n.token[me] = false;
+                    n.threads[me].pc = Pc::Run;
+                } else if s.poisoned {
+                    n.threads[me].pc = Pc::Exited;
+                } else {
+                    n.threads[me].pc = Pc::ParkDecide;
+                }
+            }
+            Kind::ParkCall => {
+                if s.permit[me] {
+                    n.permit[me] = false;
+                    n.threads[me].pc = if self.is(SchedMutation::ParkDropsPermit) {
+                        // Bug: park swallows the already-delivered permit
+                        // and blocks anyway — the wakeup is lost.
+                        Pc::Parked
+                    } else {
+                        // park() returns immediately on a banked permit;
+                        // loop back and re-probe the token.
+                        Pc::AwaitCheck
+                    };
+                } else {
+                    n.threads[me].pc = Pc::Parked;
+                }
+            }
+            Kind::Wake => {
+                n.permit[me] = false;
+                n.threads[me].pc = Pc::AwaitCheck;
+            }
+            Kind::ExitCs => {
+                n.irrevocable &= !(1 << me);
+                let succ = self.horizon_cs(&mut n, me, true)?;
+                n.threads[me].pc = match succ {
+                    Some(id) if id != me => Pc::ExitSignalToken { succ: id as u8 },
+                    _ => Pc::Exited,
+                };
+            }
+        }
+        Ok(n)
+    }
+
+    fn check(&self, s: &SchedState) -> Result<(), String> {
+        // ≤ 1 irrevocable owner, ever.
+        if s.irrevocable.count_ones() > 1 {
+            return Err(format!(
+                "irrevocable token double-granted: owner bitmap {:#06b} has more than \
+                 one bit set (escalation requires a single serialized owner)",
+                s.irrevocable
+            ));
+        }
+        // Baton exclusivity: at most one thread owns the quantum.
+        let owners =
+            s.threads.iter().filter(|t| matches!(t.pc, Pc::Run | Pc::Yield | Pc::Exiting)).count();
+        if owners > 1 {
+            return Err(format!(
+                "{owners} threads own the scheduler quantum simultaneously — the gate \
+                 token was granted twice"
+            ));
+        }
+        // No lost wakeup: if every live thread is waiting for a grant and
+        // no token or permit is in flight (and nobody poisoned), nothing
+        // can ever run again.
+        let live: Vec<usize> = (0..self.n()).filter(|&i| s.threads[i].pc != Pc::Exited).collect();
+        if !live.is_empty()
+            && !s.poisoned
+            && live
+                .iter()
+                .all(|&i| matches!(s.threads[i].pc, Pc::AwaitCheck | Pc::ParkDecide | Pc::Parked))
+            && live.iter().all(|&i| !s.token[i] && !s.permit[i])
+        {
+            return Err("lost wakeup: every live thread is waiting in wait_token with no gate \
+                 token or unpark permit in flight"
+                .into());
+        }
+        // Clean shutdown (poison-free runs only).
+        if self.scenario.poison_by.is_none() && (0..self.n()).all(|i| s.threads[i].pc == Pc::Exited)
+        {
+            if s.queue.iter().any(Option::is_some) || s.horizon != OPEN {
+                return Err(format!(
+                    "scheduler shut down with a stale horizon ({}) or queue residue — \
+                     an exit handoff skipped the critical section",
+                    s.horizon
+                ));
+            }
+            if s.irrevocable != 0 {
+                return Err(format!(
+                    "irrevocable token leaked across shutdown: owner bitmap {:#06b}",
+                    s.irrevocable
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_terminal(&self, s: &SchedState) -> bool {
+        (0..self.n()).all(|i| s.threads[i].pc == Pc::Exited)
+    }
+
+    fn describe(&self, a: SchedAction, step: usize) -> TraceRecord {
+        let tid = a.tid as usize;
+        let ev = match a.kind {
+            Kind::Work => TraceEvent::BarrierWait { cycles: u64::from(Self::delta(tid)) },
+            Kind::YieldCs | Kind::ExitCs => TraceEvent::Stall { line: u64::from(a.tid), cycles: 0 },
+            Kind::Poison => TraceEvent::FaultInjected { kind: 2, cycles: 0 },
+            Kind::TokenSet { succ } => {
+                TraceEvent::Nack { requester: u32::from(succ), must_abort: false }
+            }
+            Kind::UnparkSet { succ } => TraceEvent::Backoff { cycles: u64::from(succ) },
+            Kind::TokenCheck => TraceEvent::L1Miss { line: u64::from(a.tid) },
+            Kind::ParkCall => TraceEvent::TableSwapOut { line: u64::from(a.tid) },
+            Kind::Wake => TraceEvent::L2Miss { line: u64::from(a.tid) },
+        };
+        TraceRecord { t: step as u64, core: tid, ev }
+    }
+}
+
+impl DporModel for SchedModel {
+    fn thread_of(&self, a: SchedAction) -> usize {
+        a.tid as usize
+    }
+
+    fn independent(&self, a: SchedAction, b: SchedAction) -> bool {
+        a.tid != b.tid && Self::mask(self, a) & Self::mask(self, b) == 0
+    }
+}
+
+impl SchedModel {
+    /// Shared-cell access footprint: bit 0 = horizon/queue/last_grant
+    /// (the CS cell), bit 1 = poisoned, bit 2 = irrevocable, bits 3..7 =
+    /// token[i], bits 8..12 = permit[i].
+    fn mask(&self, a: SchedAction) -> u32 {
+        let me = a.tid as usize;
+        match a.kind {
+            Kind::Work => {
+                if self.scenario.irrevocable && me < 2 {
+                    1 << 2
+                } else {
+                    0
+                }
+            }
+            Kind::YieldCs => 1,
+            Kind::ExitCs => 1 | (1 << 2),
+            Kind::Poison => (1 << 1) | 1 | (1 << 2) | (0b1111 << 8),
+            Kind::TokenSet { succ } => 1 << (3 + succ),
+            Kind::UnparkSet { succ } => 1 << (8 + succ),
+            // Reads poisoned and probes its own token.
+            Kind::TokenCheck => (1 << (3 + me)) | (1 << 1),
+            Kind::ParkCall | Kind::Wake => 1 << (8 + me),
+        }
+    }
+}
+
+/// Explore one scenario (optionally mutated) with the sleep-set DPOR
+/// search.
+pub fn check_sched(
+    scenario: SchedScenario,
+    mutation: Option<SchedMutation>,
+    max_states: usize,
+) -> ExploreReport {
+    explore_dpor(&SchedModel { scenario, mutation }, max_states, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    const CAP: usize = 4_000_000;
+
+    #[test]
+    fn all_scenarios_pass_clean() {
+        for sc in SCENARIOS {
+            let r = check_sched(sc, None, CAP);
+            assert!(
+                r.ok(),
+                "{}: {}",
+                sc.label(),
+                r.violations
+                    .first()
+                    .map_or("truncated".into(), super::super::explore::Counterexample::render)
+            );
+            assert!(r.states > 50, "{}: trivial exploration ({})", sc.label(), r.states);
+        }
+    }
+
+    /// Soundness cross-check: the sleep-set reduction must agree with the
+    /// unreduced BFS — same verdict, same terminal states — while
+    /// actually pruning something.
+    #[test]
+    fn sleep_sets_agree_with_bfs() {
+        let sc = SCENARIOS[0];
+        let model = SchedModel::new(sc);
+        let bfs = explore(&model, CAP);
+        assert!(bfs.ok(), "{:?}", bfs.violations);
+
+        let mut dpor_terminals = Vec::new();
+        let reduced = explore_dpor(&model, CAP, Some(&mut dpor_terminals));
+        assert!(reduced.ok(), "{:?}", reduced.violations);
+        assert!(reduced.slept > 0, "independence must prune some interleavings");
+
+        // Every DPOR terminal is the same clean-shutdown state up to
+        // banked token/permit residue (a receiver may consume its token
+        // before or after the permit lands — both are legal).
+        let mut semantic: Vec<_> = dpor_terminals
+            .iter()
+            .map(|s| (s.horizon, s.queue, s.poisoned, s.irrevocable, s.threads))
+            .collect();
+        semantic.sort();
+        semantic.dedup();
+        assert_eq!(semantic.len(), 1, "min-time handoff shutdown is deterministic");
+    }
+
+    fn assert_caught(m: SchedMutation, scenario: SchedScenario, expect: &str) {
+        let r = check_sched(scenario, Some(m), CAP);
+        assert!(!r.violations.is_empty(), "mutation {} not caught", m.name());
+        let v = &r.violations[0];
+        assert!(
+            v.message.contains(expect),
+            "mutation {}: expected {expect:?} in message, got: {}",
+            m.name(),
+            v.message
+        );
+        assert!(!v.trace.is_empty(), "mutation {}: empty counterexample", m.name());
+    }
+
+    #[test]
+    fn mutation_signal_no_token_caught() {
+        assert_caught(SchedMutation::SignalNoToken, SCENARIOS[0], "lost wakeup");
+    }
+
+    #[test]
+    fn mutation_park_drops_permit_caught() {
+        let r = check_sched(SCENARIOS[0], Some(SchedMutation::ParkDropsPermit), CAP);
+        assert!(!r.violations.is_empty(), "park-drops-permit not caught");
+        let msg = &r.violations[0].message;
+        assert!(
+            msg.contains("deadlock") || msg.contains("lost wakeup"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn mutation_stale_horizon_caught() {
+        assert_caught(SchedMutation::StaleHorizon, SCENARIOS[1], "ordering regressed");
+    }
+
+    #[test]
+    fn mutation_irrevocable_double_grant_caught() {
+        assert_caught(SchedMutation::IrrevocableDoubleGrant, SCENARIOS[4], "double-granted");
+    }
+
+    #[test]
+    fn counterexample_uses_trace_vocabulary() {
+        let r = check_sched(SCENARIOS[0], Some(SchedMutation::SignalNoToken), CAP);
+        let text = r.violations[0].render();
+        assert!(text.contains("nack") || text.contains("l1_miss"), "{text}");
+    }
+}

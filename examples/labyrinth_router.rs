@@ -76,12 +76,10 @@ impl Workload for MazeRouter {
                     if guard > (W * H) as usize {
                         return Ok(()); // unroutable; commit empty
                     }
-                    let nx = if x < dx {
-                        x + 1
-                    } else if x > dx {
-                        x - 1
-                    } else {
-                        x
+                    let nx = match x.cmp(&dx) {
+                        std::cmp::Ordering::Less => x + 1,
+                        std::cmp::Ordering::Greater => x - 1,
+                        std::cmp::Ordering::Equal => x,
                     };
                     let step = if nx != x && tx.load(self.cell(nx, y))? == 1 {
                         // Wall ahead: slide along it towards a gap.
@@ -116,7 +114,7 @@ impl Workload for MazeRouter {
                 ok = true;
                 Ok(())
             });
-            routed += ok as u64;
+            routed += u64::from(ok);
             ctx.work(60);
         }
         ctx.store(self.routed + tid as u64 * 64, routed);

@@ -217,7 +217,7 @@ fn shadow_oracle_catches_skipped_undo_walk() {
         Err(e) => e
             .downcast_ref::<String>()
             .cloned()
-            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .or_else(|| e.downcast_ref::<&str>().map(std::string::ToString::to_string))
             .unwrap_or_default(),
     };
     assert!(panic_msg.contains("INV-9"), "unexpected panic: {panic_msg}");

@@ -144,7 +144,7 @@ fn schedule_identical_across_repeated_runs() {
 /// Temporary golden-capture helper: `cargo test -p suv --release
 /// --test integration_engine print_goldens -- --ignored --nocapture`.
 #[test]
-#[ignore]
+#[ignore = "golden-capture helper; run explicitly with --ignored"]
 fn print_goldens() {
     for &(scheme, cores, seed, ..) in GOLDEN {
         let r = run_mixed(scheme, cores, seed);

@@ -134,7 +134,8 @@ fn breakdown_totals_are_consistent() {
         }
         // Wall time is within the max thread's accounted time plus the
         // final barrier alignment.
-        let max_thread = r.stats.per_thread.iter().map(|b| b.total()).max().unwrap();
+        let max_thread =
+            r.stats.per_thread.iter().map(suv::prelude::Breakdown::total).max().unwrap();
         assert!(max_thread * 2 >= r.stats.cycles, "{scheme:?}: unaccounted time");
     }
 }

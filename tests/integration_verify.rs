@@ -1,0 +1,102 @@
+//! Integration tests for the `suvtm verify` model checkers: the CLI
+//! contract (exit codes, counterexample artifact) and the seeded-mutation
+//! matrix — every committed protocol and scheduler bug must be caught
+//! with a printed counterexample trace, and the clean product machines
+//! must pass exhaustively for all six schemes.
+
+use std::path::PathBuf;
+use std::process::Command;
+use suv_verify::protocol::{check_protocol, ALL_PROTOCOL_MUTATIONS, ALL_SCHEMES};
+use suv_verify::sched::{check_sched, ALL_SCHED_MUTATIONS, SCENARIOS};
+use suv_verify::DEFAULT_MAX_STATES;
+
+fn suvtm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_suvtm"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// The exhaustive clean pass the CI verify-smoke job gates on: all six
+/// schemes at the 2-core / 2-address scope, plus every scheduler
+/// scenario, with no truncation.
+#[test]
+fn all_schemes_and_scenarios_verify_clean() {
+    for scheme in ALL_SCHEMES {
+        let r = check_protocol(scheme, None, DEFAULT_MAX_STATES);
+        assert!(
+            r.ok(),
+            "{}: {}",
+            scheme.name(),
+            r.violations.first().map_or("truncated".into(), suv_verify::Counterexample::render)
+        );
+    }
+    for sc in SCENARIOS {
+        let r = check_sched(sc, None, DEFAULT_MAX_STATES);
+        assert!(
+            r.ok(),
+            "{}: {}",
+            sc.label(),
+            r.violations.first().map_or("truncated".into(), suv_verify::Counterexample::render)
+        );
+    }
+}
+
+/// Every committed seeded mutation is caught, and the counterexample is
+/// a concrete replayable trace (non-empty, rendered through the
+/// suv-trace vocabulary).
+#[test]
+fn every_seeded_mutation_is_caught_with_a_trace() {
+    for m in ALL_PROTOCOL_MUTATIONS {
+        let r = check_protocol(m.target_scheme(), Some(m), DEFAULT_MAX_STATES);
+        assert!(!r.violations.is_empty(), "protocol mutation {} escaped", m.name());
+        let cex = &r.violations[0];
+        assert!(!cex.trace.is_empty(), "{}: counterexample has no trace", m.name());
+        assert!(cex.render().contains("violation:"), "{}", m.name());
+    }
+    for m in ALL_SCHED_MUTATIONS {
+        let caught = SCENARIOS.iter().any(|&sc| {
+            let r = check_sched(sc, Some(m), DEFAULT_MAX_STATES);
+            r.violations.iter().any(|v| !v.trace.is_empty())
+        });
+        assert!(caught, "sched mutation {} escaped every scenario", m.name());
+    }
+}
+
+#[test]
+fn cli_clean_run_exits_zero_and_prints_pass() {
+    let out = suvtm()
+        .args(["verify", "--engine", "protocol", "--scheme", "suv"])
+        .output()
+        .expect("spawn suvtm");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("[PASS] SUV-TM"), "{stdout}");
+    assert!(stdout.contains("1/1 explorations passed"), "{stdout}");
+}
+
+#[test]
+fn cli_seeded_mutation_exits_one_and_writes_counterexample() {
+    let cex = tmp("verify_cex.txt");
+    let out = suvtm()
+        .args(["verify", "--engine", "protocol", "--scheme", "suv"])
+        .args(["--mutate-protocol", "skip-flash"])
+        .args(["--out", cex.to_str().expect("utf8 tmpdir")])
+        .output()
+        .expect("spawn suvtm");
+    assert_eq!(out.status.code(), Some(1), "seeded bug must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[FAIL] SUV-TM"), "{stdout}");
+    let body = std::fs::read_to_string(&cex).expect("counterexample artifact written");
+    assert!(body.contains("violation:"), "{body}");
+    assert!(body.contains("trace ("), "artifact must replay the trace: {body}");
+}
+
+#[test]
+fn cli_rejects_unknown_mutation_with_usage_exit() {
+    let out = suvtm().args(["verify", "--mutate-protocol", "bogus"]).output().expect("spawn suvtm");
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skip-flash"), "error must list candidates: {stderr}");
+}

@@ -18,7 +18,20 @@
 //! * **trace-reconcile** — every `TraceEvent` variant is wired through
 //!   `kind_id`, `kind_name` and `payload` (no catch-all arm may absorb a
 //!   newly added variant, or hashes and metrics silently lose events).
+//! * **invariant-coverage** — every `INV-n` catalogued in DESIGN.md must
+//!   be referenced by at least one check in non-test code (a
+//!   `debug_assert!`, a `suv-check` audit, or a `suv-verify` predicate —
+//!   the invariant number is baked into the check's message string), so
+//!   the catalogue cannot drift into wishful documentation.
+//!
+//! The content rules match on a *token-aware scrub* of each source file
+//! ([`strip_noncode`]): comments (line, doc and nested block) and —
+//! where the rule wants it — string/char literals are blanked to spaces
+//! before matching, with line structure preserved so reported line
+//! numbers stay exact. This keeps `thread_rng` in a doc comment or
+//! `.unwrap()` inside an error-message string from false-positiving.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -49,6 +62,154 @@ fn is_comment(trimmed: &str) -> bool {
     trimmed.starts_with("//") || trimmed.starts_with("//!") || trimmed.starts_with("///")
 }
 
+/// What [`strip_noncode`] blanks out before a rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strip {
+    /// Blank comments only; string literals survive. Used by rules that
+    /// *want* to see strings (invariant numbers live in check messages).
+    Comments,
+    /// Blank comments and string/char literals. Used by rules matching
+    /// executable tokens, so quoted or documented mentions never trip.
+    CommentsAndStrings,
+}
+
+/// Token-aware scrub: return a copy of `src` with comments (line, doc,
+/// and nested block) — and under [`Strip::CommentsAndStrings`] also
+/// string, raw-string, byte-string and char literals — replaced by
+/// spaces. Newlines inside stripped regions are preserved, so the output
+/// has the same line structure as the input and per-line rule matching
+/// keeps exact line numbers.
+pub fn strip_noncode(src: &str, mode: Strip) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let strip_strings = mode == Strip::CommentsAndStrings;
+    let blank = |out: &mut String, chars: &[char]| {
+        for &c in chars {
+            out.push(if c == '\n' { '\n' } else { ' ' });
+        }
+    };
+    let copy_or_blank = |out: &mut String, chars: &[char], strip: bool| {
+        if strip {
+            blank(out, chars);
+        } else {
+            out.extend(chars.iter().copied());
+        }
+    };
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        // Line comment (covers `//`, `///`, `//!`).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            blank(&mut out, &b[start..i]);
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start = i;
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, &b[start..i]);
+            continue;
+        }
+        // Raw (and raw-byte) string: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')))
+            && !prev_is_ident(&b, i)
+            && raw_string_end(&b, i).is_some()
+        {
+            let end = raw_string_end(&b, i).expect("checked above");
+            copy_or_blank(&mut out, &b[i..end], strip_strings);
+            i = end;
+            continue;
+        }
+        // String (and byte-string) literal.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"') && !prev_is_ident(&b, i)) {
+            let start = i;
+            i += if c == 'b' { 2 } else { 1 };
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            copy_or_blank(&mut out, &b[start..i.min(n)], strip_strings);
+            continue;
+        }
+        // Char/byte literal — but not a lifetime (`'a`), which has no
+        // closing quote within two characters.
+        if c == '\'' {
+            let close = if b.get(i + 1) == Some(&'\\') {
+                // Escaped: scan to the closing quote ('\n', '\u{7f}', ...).
+                (i + 2..n).find(|&j| b[j] == '\'').map(|j| j + 1)
+            } else if b.get(i + 2) == Some(&'\'') {
+                Some(i + 3)
+            } else {
+                None // lifetime or label: leave as code
+            };
+            if let Some(end) = close {
+                copy_or_blank(&mut out, &b[i..end], strip_strings);
+                i = end;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Is `b[i]` preceded by an identifier character? Guards the raw-string
+/// and byte-string prefixes so identifiers ending in `r`/`b` (e.g.
+/// `attr"..."` never parses, but `var` before `"` in macros might) don't
+/// start a literal.
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If a raw string starts at `b[i]` (optionally after a `b` prefix),
+/// return the index one past its closing delimiter.
+fn raw_string_end(b: &[char], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i + if b[i] == 'b' { 2 } else { 1 };
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != '"' {
+        return None; // raw identifier (`r#match`) or bare `r`
+    }
+    j += 1;
+    while j < n {
+        if b[j] == '"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(n) // unterminated: swallow to EOF, same as rustc would reject
+}
+
 /// Entropy sources that would break the simulator's bit-reproducibility.
 const ENTROPY_TOKENS: [&str; 5] =
     ["SystemTime", "Instant::now", "thread_rng", "from_entropy", "rand::random"];
@@ -56,13 +217,10 @@ const ENTROPY_TOKENS: [&str; 5] =
 /// Flag wall-clock and OS-entropy use in a simulation source file.
 pub fn lint_entropy(file: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let t = line.trim_start();
-        if is_comment(t) {
-            continue;
-        }
+    let scrubbed = strip_noncode(src, Strip::CommentsAndStrings);
+    for (i, line) in scrubbed.lines().enumerate() {
         for tok in ENTROPY_TOKENS {
-            if t.contains(tok) {
+            if line.contains(tok) {
                 out.push(Violation {
                     file: file.to_string(),
                     line: i + 1,
@@ -83,15 +241,12 @@ pub fn lint_entropy(file: &str, src: &str) -> Vec<Violation> {
 /// test code (the workspace convention keeps test modules last).
 pub fn lint_unwrap(file: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let t = line.trim_start();
-        if t.contains("#[cfg(test)]") {
+    let scrubbed = strip_noncode(src, Strip::CommentsAndStrings);
+    for (i, line) in scrubbed.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
             break;
         }
-        if is_comment(t) {
-            continue;
-        }
-        if t.contains(".unwrap()") {
+        if line.contains(".unwrap()") {
             out.push(Violation {
                 file: file.to_string(),
                 line: i + 1,
@@ -174,7 +329,7 @@ pub fn lint_trace_reconciliation(file: &str, src: &str) -> Vec<Violation> {
         if in_enum {
             let t = line.trim();
             if depth == 1 && !is_comment(t) {
-                let name: String = t.chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+                let name: String = t.chars().take_while(char::is_ascii_alphanumeric).collect();
                 if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
                     variants.push(&t[..name.len()]);
                 }
@@ -229,6 +384,65 @@ pub fn lint_trace_reconciliation(file: &str, src: &str) -> Vec<Violation> {
     out
 }
 
+/// Collect the distinct `INV-n` numbers mentioned in a text, paired with
+/// the first line each appears on.
+fn invariant_mentions(text: &str) -> Vec<(u32, usize)> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        let mut col = 0usize;
+        while let Some(at) = rest.find("INV-") {
+            let digits: String = rest[at + 4..].chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(num) = digits.parse::<u32>() {
+                if seen.insert(num) {
+                    out.push((num, lineno + 1));
+                }
+            }
+            col += at + 4;
+            rest = &line[col..];
+        }
+    }
+    out
+}
+
+/// Check that every invariant catalogued in DESIGN.md (`INV-n`) is
+/// referenced by at least one check in non-test code. `code_refs` is the
+/// set of invariant numbers found in the workspace's sources with
+/// comments stripped but strings kept (check calls carry the invariant
+/// number in their message), truncated at the first `#[cfg(test)]` per
+/// file — a mention that only exists in a doc comment or a test module
+/// does not count as coverage.
+pub fn lint_invariant_coverage(design: &str, code_refs: &BTreeSet<u32>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (num, line) in invariant_mentions(design) {
+        if !code_refs.contains(&num) {
+            out.push(Violation {
+                file: "DESIGN.md".to_string(),
+                line,
+                rule: "invariant-coverage",
+                msg: format!(
+                    "INV-{num} is catalogued but never checked; reference it from a \
+                     debug_assert!, a suv-check audit, or a suv-verify predicate"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extract the invariant numbers a source file's non-test code checks:
+/// comments stripped (doc mentions don't count), strings kept (that's
+/// where check messages name the invariant), cut at `#[cfg(test)]`.
+pub fn invariant_refs(src: &str) -> BTreeSet<u32> {
+    let scrubbed = strip_noncode(src, Strip::Comments);
+    let nontest = match scrubbed.find("#[cfg(test)]") {
+        Some(at) => &scrubbed[..at],
+        None => &scrubbed[..],
+    };
+    invariant_mentions(nontest).into_iter().map(|(n, _)| n).collect()
+}
+
 /// Recursively collect `.rs` files under `dir`, skipping `target/`.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
@@ -259,6 +473,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         .collect();
     crate_dirs.sort();
 
+    let mut inv_refs: BTreeSet<u32> = BTreeSet::new();
     for crate_dir in &crate_dirs {
         let is_bench = crate_dir.file_name().is_some_and(|n| n == "bench");
         let mut files = Vec::new();
@@ -273,6 +488,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
                 }
             }
             violations.extend(lint_vm_impl(&name, &src));
+            inv_refs.extend(invariant_refs(&src));
         }
         let lib = crate_dir.join("src/lib.rs");
         if lib.exists() {
@@ -287,6 +503,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
 
     let event_rs = root.join("crates/trace/src/event.rs");
     violations.extend(lint_trace_reconciliation(&rel(&event_rs), &fs::read_to_string(&event_rs)?));
+
+    let design = root.join("DESIGN.md");
+    if design.exists() {
+        violations.extend(lint_invariant_coverage(&fs::read_to_string(&design)?, &inv_refs));
+    }
 
     Ok(violations)
 }
@@ -313,6 +534,62 @@ mod tests {
             "fn f() { x.expect(\"ok\"); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
         assert!(lint_unwrap("x.rs", tested).is_empty());
         assert!(lint_unwrap("x.rs", "/// x.unwrap() in docs is fine\n").is_empty());
+    }
+
+    #[test]
+    fn scrub_preserves_line_structure() {
+        let src = "a /* b\nc */ d\n\"e\nf\"\n";
+        for mode in [Strip::Comments, Strip::CommentsAndStrings] {
+            let s = strip_noncode(src, mode);
+            assert_eq!(s.lines().count(), src.lines().count(), "{mode:?}");
+        }
+        // Comments blanked in both modes; the string only in the strict one.
+        assert!(strip_noncode(src, Strip::Comments).contains("\"e"));
+        assert!(!strip_noncode(src, Strip::Comments).contains("b\nc"));
+        assert!(!strip_noncode(src, Strip::CommentsAndStrings).contains('e'));
+    }
+
+    #[test]
+    fn entropy_not_fooled_by_string_literals() {
+        // Regression: the old line scraper flagged the token inside an
+        // error-message string.
+        let src = "let msg = \"seed with StdRng, never thread_rng\";\n";
+        assert!(lint_entropy("x.rs", src).is_empty(), "{:?}", lint_entropy("x.rs", src));
+        // ... but the real call right next to a string still trips.
+        let bad = "let msg = \"ok\"; let r = thread_rng();\n";
+        assert_eq!(lint_entropy("x.rs", bad).len(), 1);
+        assert_eq!(lint_entropy("x.rs", bad)[0].line, 1);
+    }
+
+    #[test]
+    fn entropy_not_fooled_by_block_and_trailing_comments() {
+        // Regression: block comments and trailing `//` comments were
+        // invisible to the old starts-with("//") test.
+        let src = "/* wall clock via Instant::now is banned\n   SystemTime too */\n\
+                   let t = sim_clock(); // unlike Instant::now\n";
+        assert!(lint_entropy("x.rs", src).is_empty(), "{:?}", lint_entropy("x.rs", src));
+    }
+
+    #[test]
+    fn entropy_not_fooled_by_raw_strings_and_chars() {
+        let src =
+            "let re = r\"thread_rng|from_entropy\";\nlet c = 'x';\nlet l: &'static str = s;\n";
+        assert!(lint_entropy("x.rs", src).is_empty(), "{:?}", lint_entropy("x.rs", src));
+        // Lifetimes must not start a bogus char literal that swallows code.
+        let bad = "fn f<'a>(x: &'a u32) { let r = rand::random(); }\n";
+        assert_eq!(lint_entropy("x.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_not_fooled_by_strings_or_trailing_comments() {
+        // Regression shapes for the old scraper: quoted `.unwrap()` in a
+        // message, and a trailing comment mentioning it.
+        let quoted = "let m = \"never call .unwrap() here\";\n";
+        assert!(lint_unwrap("x.rs", quoted).is_empty(), "{:?}", lint_unwrap("x.rs", quoted));
+        let trailing = "let v = x.expect(\"set\"); // not .unwrap()\n";
+        assert!(lint_unwrap("x.rs", trailing).is_empty());
+        let real = "let v = x.unwrap(); // bad\n";
+        assert_eq!(lint_unwrap("x.rs", real).len(), 1);
     }
 
     #[test]
@@ -355,6 +632,31 @@ mod tests {
     }
 
     #[test]
+    fn invariant_coverage_spots_unchecked_invariants() {
+        let design = "## Invariants\n* **INV-1** lines exclusive\n* **INV-2** no leaks\n";
+        let mut refs = BTreeSet::new();
+        refs.insert(1);
+        let v = lint_invariant_coverage(design, &refs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "invariant-coverage");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("INV-2"), "{}", v[0].msg);
+        refs.insert(2);
+        assert!(lint_invariant_coverage(design, &refs).is_empty());
+    }
+
+    #[test]
+    fn invariant_refs_ignore_comments_and_tests_but_count_strings() {
+        let src = "// INV-1 documented only\n\
+                   fn f() { assert!(ok, \"INV-2 violated\"); }\n\
+                   #[cfg(test)]\nmod t { fn g() { check(\"INV-3\"); } }\n";
+        let refs = invariant_refs(src);
+        assert!(!refs.contains(&1), "doc-comment mention must not count");
+        assert!(refs.contains(&2), "check-message string must count");
+        assert!(!refs.contains(&3), "test-module mention must not count");
+    }
+
+    #[test]
     fn workspace_walk_covers_the_oltp_crate() {
         // `lint_workspace` enumerates `crates/*`, so a new crate is linted
         // automatically — pin that the oltp subsystem is on the walk and
@@ -385,7 +687,7 @@ mod tests {
         assert!(
             v.is_empty(),
             "lint violations:\n{}",
-            v.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+            v.iter().map(std::string::ToString::to_string).collect::<Vec<_>>().join("\n")
         );
     }
 }
